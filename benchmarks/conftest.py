@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures:
+it runs the corresponding experiment under ``pytest-benchmark`` (one
+round — these are simulations, wall-clock variance is not the point),
+prints the regenerated rows/series next to the paper's numbers, and
+asserts the paper's qualitative shape.
+
+Run them all with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, experiment_fn, *args, **kwargs):
+    """Benchmark one experiment function and print its result table."""
+    result = benchmark.pedantic(
+        experiment_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """``report(fn, *args)`` -> ExperimentResult, benchmarked + printed."""
+
+    def _run(experiment_fn, *args, **kwargs):
+        return run_and_report(benchmark, experiment_fn, *args, **kwargs)
+
+    return _run

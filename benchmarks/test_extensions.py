@@ -1,0 +1,114 @@
+"""Benches for the paper's Section 5/7 extension directions.
+
+Not figures from the paper — these quantify the future-work features
+the reproduction implements on top of it:
+
+* **FPGA space-sharing** (Section 7, cf. [28]): replicating compute
+  units out of leftover area shortens the always-FPGA baseline's queues
+  under the Figure 7 periodic workload.
+* **Scheduling-policy comparison** (Section 5's "policies inspired by
+  heuristics that balance power and performance"): the paper's
+  threshold heuristic vs. an explicit cost model vs. EDP-minimizing
+  energy-aware scheduling, reporting both time and joules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SystemMode,
+    build_system,
+    cost_model_policy,
+    energy_aware_policy,
+    marginal_run_energy,
+)
+from repro.experiments import sample_application_set
+from repro.hardware import PowerModel
+from repro.workloads import PAPER_BENCHMARKS, all_profiles, profile_for
+
+
+@pytest.mark.benchmark(group="ext-space-sharing")
+def test_space_sharing_reduces_fpga_queueing(benchmark):
+    """Four tenants hammering one hot kernel: replicated CUs parallelize
+    what a single CU serializes."""
+
+    def tenants_makespan(replicate: bool) -> float:
+        runtime = build_system(
+            PAPER_BENCHMARKS, seed=5, replicate_compute_units=replicate
+        )
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        load = runtime.launch_background(40, work_s=120.0)
+        events = [
+            runtime.launch(
+                "digit.2000", seed=i, mode=SystemMode.XAR_TREK, delay_s=0.01
+            )
+            for i in range(6)
+        ]
+        records = runtime.wait_all(events)
+        load.stop()
+        return max(r.end_s for r in records)
+
+    def run():
+        return tenants_makespan(False), tenants_makespan(True)
+
+    single_cu, multi_cu = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n6 tenants on one kernel: single CU {single_cu:.2f} s, "
+        f"replicated CUs {multi_cu:.2f} s "
+        f"({(single_cu - multi_cu) / single_cu * 100:.0f}% faster)"
+    )
+    assert multi_cu < single_cu * 0.75
+
+
+@pytest.mark.benchmark(group="ext-policies")
+def test_policy_comparison_time_and_energy(benchmark):
+    """One random 10-app set under medium load, three policies.
+
+    Expected ordering: cost-model <= heuristic on time (it has strictly
+    more information); energy-aware burns the fewest active joules but
+    pays time for it.
+    """
+    profiles = all_profiles()
+    policies = {
+        "heuristic (Alg. 2)": None,
+        "cost model": cost_model_policy(profiles),
+        "energy-aware (EDP)": energy_aware_policy(profiles, delay_exponent=1.0),
+    }
+
+    def run_policy(policy):
+        rng = np.random.default_rng(11)
+        apps = sample_application_set(rng, 10)
+        runtime = build_system(PAPER_BENCHMARKS, seed=11, policy=policy)
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        load = runtime.launch_background(45, work_s=120.0)
+        events = [
+            runtime.launch(app, seed=i, mode=SystemMode.XAR_TREK, delay_s=0.01)
+            for i, app in enumerate(apps)
+        ]
+        records = runtime.wait_all(events)
+        load.stop()
+        model = PowerModel()
+        return {
+            "avg_s": float(np.mean([r.elapsed_s for r in records])),
+            "active_j": sum(
+                marginal_run_energy(profile_for(r.app), r.dominant_target(), model)
+                for r in records
+            ),
+        }
+
+    def run():
+        return {name: run_policy(policy) for name, policy in policies.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, res in results.items():
+        print(f"{name:20s} avg {res['avg_s'] * 1e3:9.1f} ms   active {res['active_j']:9.1f} J")
+
+    heuristic = results["heuristic (Alg. 2)"]
+    model = results["cost model"]
+    green = results["energy-aware (EDP)"]
+
+    # The cost model never loses to the heuristic by much (and usually wins).
+    assert model["avg_s"] <= heuristic["avg_s"] * 1.05
+    # EDP scheduling trades time for energy.
+    assert green["active_j"] < heuristic["active_j"]

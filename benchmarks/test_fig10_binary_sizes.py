@@ -1,0 +1,34 @@
+"""Figure 10: size of binaries.
+
+Per application, the artifact sizes of the three development processes:
+traditional FPGA (x86 executable + XCLBIN), Popcorn (multi-ISA
+executable), and Xar-Trek (both). Shape requirements (Section 4.5):
+
+* Xar-Trek is always the largest — it subsumes both baselines;
+* the relative increases fall in the paper's 33%-282% band
+  (ours: roughly 20%-280%);
+* Popcorn's CG-A binary is visibly larger than the other four (its
+  900 LOC vs their 300-500).
+"""
+
+import pytest
+
+from repro.experiments import figure10_binary_sizes
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_binary_sizes(report):
+    result = report(figure10_binary_sizes)
+
+    popcorn = dict(zip(result.column("application"), result.column("Popcorn x86+ARM (MB)")))
+    for row in result.rows:
+        app, x86_fpga, pop, xar, inc_fpga, inc_pop = row
+        assert xar > x86_fpga
+        assert xar > pop
+        # Increases within (a tolerant version of) the paper's band.
+        assert 10.0 < inc_fpga < 320.0
+        assert 10.0 < inc_pop < 320.0
+
+    # CG-A's Popcorn binary stands out (LOC-driven).
+    others = [size for app, size in popcorn.items() if app != "cg.A"]
+    assert popcorn["cg.A"] > max(others) * 1.1

@@ -1,0 +1,41 @@
+"""Figure 3: average execution time at low load (< #x86 cores).
+
+Randomized sets of 1-5 applications, no background load, 10 repeats,
+all four systems. Shape requirements (Section 4.1):
+
+* Xar-Trek tracks Vanilla/x86 closely — it correctly does *not*
+  migrate when the host is cool;
+* Vanilla/ARM is always the slowest system;
+* Xar-Trek beats the always-FPGA baseline clearly on average (the
+  paper reports 50-75% gains): always-FPGA collapses whenever a set
+  contains an FPGA-hostile application (CG-A, FaceDet320).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure3_low_load
+from repro.experiments.fixed_workload import gains_over
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_low_load(report):
+    result = report(figure3_low_load, repeats=10, seed=0)
+
+    x86 = result.column("Vanilla Linux/x86 (ms)")
+    arm = result.column("Vanilla Linux/ARM (ms)")
+    fpga = result.column("FPGA (ms)")
+    xar = result.column("Xar-Trek (ms)")
+
+    # Xar-Trek ~= x86 at every set size (no useless migration).
+    for x, xt in zip(x86, xar):
+        assert xt == pytest.approx(x, rel=0.02)
+
+    # Vanilla/ARM is always slowest.
+    for row_arm, others in zip(arm, zip(x86, fpga, xar)):
+        assert row_arm > min(others)
+    assert np.mean(arm) > np.mean(x86) and np.mean(arm) > np.mean(xar)
+
+    # Xar-Trek beats always-FPGA on average (paper: 50-75%).
+    mean_gain = float(np.mean(gains_over(result, "FPGA", "Xar-Trek")))
+    assert mean_gain > 25.0

@@ -1,0 +1,35 @@
+"""Figure 4: average execution time at medium load (60 processes).
+
+Randomized sets of 5-25 applications plus MG-B background filling the
+process count to 60 (more than the 6 x86 cores, fewer than the 102
+total). Shape requirements:
+
+* Xar-Trek beats Vanilla/x86 at every set size (paper: 88%-1% gains);
+* Xar-Trek also beats the always-FPGA baseline on average — the
+  scheduler avoids the FPGA for CG-A-like members where always-FPGA
+  queues them onto a slow kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure4_medium_load
+from repro.experiments.fixed_workload import gains_over
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_medium_load(report):
+    result = report(figure4_medium_load, repeats=10, seed=0)
+
+    x86 = result.column("Vanilla Linux/x86 (ms)")
+    fpga = result.column("FPGA (ms)")
+    xar = result.column("Xar-Trek (ms)")
+
+    for x, xt in zip(x86, xar):
+        assert xt < x  # positive gain everywhere
+
+    gains = gains_over(result, "Vanilla Linux/x86", "Xar-Trek")
+    assert max(gains) > 50.0  # the paper's large-gain end (88%)
+    assert min(gains) > 0.0  # and no regressions (paper floor: 1%)
+
+    assert float(np.mean(xar)) < float(np.mean(fpga))

@@ -1,0 +1,41 @@
+"""Figure 7: periodic workload, average execution time.
+
+Thirty waves of 20 randomized applications, one wave every 30 s; the
+overlap of slow waves sweeps the process count from medium toward high
+and back. Shape requirements (Section 4.3):
+
+* Xar-Trek beats Vanilla/x86 (paper: by 18%);
+* Xar-Trek beats Vanilla/FPGA (paper: by 32%; in our model the
+  always-FPGA baseline degrades further because CG-A waves pile up on
+  its single compute unit — see EXPERIMENTS.md);
+* Xar-Trek's gain over x86 here is *smaller* than its Figure 4
+  medium-load gain — the load is not sustained (the paper's
+  observation), which the bench cross-checks.
+"""
+
+import pytest
+
+from repro.experiments import figure7_periodic_execution, figure4_medium_load
+from repro.experiments.fixed_workload import gains_over
+from repro.experiments.report import percent_gain
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_periodic_execution(report):
+    result = report(figure7_periodic_execution)
+    times = {row[0]: row[1] for row in result.rows}
+
+    x86 = times["Vanilla Linux/x86"]
+    fpga = times["FPGA"]
+    xar = times["Xar-Trek"]
+
+    assert xar < x86
+    assert xar < fpga
+
+    periodic_gain = percent_gain(x86, xar)
+    assert periodic_gain > 10.0  # paper: 18%
+
+    # Not-sustained loads yield smaller gains than sustained medium load.
+    sustained = figure4_medium_load(repeats=3, seed=0)
+    sustained_gain = max(gains_over(sustained, "Vanilla Linux/x86", "Xar-Trek"))
+    assert periodic_gain < sustained_gain

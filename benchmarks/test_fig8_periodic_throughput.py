@@ -1,0 +1,30 @@
+"""Figure 8: face-detection throughput under a periodic load wave.
+
+Background load waves between 10 and 120 processes over ~35 minutes
+while ten 60-second face-detection windows run. Shape requirements
+(Section 4.3):
+
+* Xar-Trek beats Vanilla/x86 by a wide margin (paper: 175%);
+* Xar-Trek also beats Vanilla/FPGA (paper: 50%) — it serves the
+  low-load phases from the (faster-there) x86 and the high-load phases
+  from the FPGA;
+* the gains are smaller than the sustained-load Figure 6 gaps.
+"""
+
+import pytest
+
+from repro.experiments import figure8_periodic_throughput
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_periodic_throughput(report):
+    result = report(figure8_periodic_throughput)
+    tput = {row[0]: row[1] for row in result.rows}
+
+    x86 = tput["Vanilla Linux/x86"]
+    fpga = tput["FPGA"]
+    xar = tput["Xar-Trek"]
+
+    assert xar > x86 * 1.5  # paper: +175%
+    assert xar >= fpga  # paper: +50%; ours is a smaller but real edge
+    assert fpga > x86  # the always-FPGA baseline still beats pure x86

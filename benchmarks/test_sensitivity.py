@@ -1,0 +1,58 @@
+"""Environment-sensitivity benches (see EXPERIMENTS.md's divergence notes).
+
+These quantify how much each modelling assumption carries: ARM
+capacity, background duty cycle, XCLBIN programming time, and Ethernet
+bandwidth. They double as the evidence base for the Figure 5/6
+divergence discussion.
+"""
+
+import pytest
+
+from repro.experiments import (
+    arm_capacity_sensitivity,
+    background_duty_sensitivity,
+    interconnect_sensitivity,
+    reconfig_time_sensitivity,
+)
+
+
+@pytest.mark.benchmark(group="sens-arm")
+def test_arm_capacity_sensitivity(report):
+    result = report(arm_capacity_sensitivity, repeats=3)
+    gains = result.column("gain (%)")
+    # Finding: flat in ARM capacity (the FPGA carries the gain).
+    assert max(gains) - min(gains) < 10.0
+    assert all(g > 50.0 for g in gains)
+
+
+@pytest.mark.benchmark(group="sens-duty")
+def test_background_duty_sensitivity(report):
+    result = report(background_duty_sensitivity, repeats=3)
+    by_duty = {row[0]: row for row in result.rows}
+    # A memory-bound background dilates the x86 baseline less...
+    assert by_duty[0.25][1] < by_duty[1.0][1]
+    # ...and shaves the gain, but only by a few points.
+    assert by_duty[0.25][3] < by_duty[1.0][3]
+    assert by_duty[1.0][3] - by_duty[0.25][3] < 15.0
+
+
+@pytest.mark.benchmark(group="sens-reconfig")
+def test_reconfig_time_sensitivity(report):
+    result = report(reconfig_time_sensitivity)
+    advantages = result.column("Xar-Trek advantage (%)")
+    # Hiding configuration is worth more the longer programming takes.
+    assert advantages == sorted(advantages)
+    assert advantages[-1] > advantages[0]
+    assert all(a >= 0 for a in advantages)
+
+
+@pytest.mark.benchmark(group="sens-interconnect")
+def test_interconnect_sensitivity(report):
+    result = report(interconnect_sensitivity)
+    for row in result.rows:
+        name, slow, paper_speed, fast = row[0], row[1], row[2], row[3]
+        # Faster links can only lower (or keep) the migration threshold.
+        assert fast <= paper_speed <= slow
+        # Compute-dominated workloads: the whole sweep moves by at most
+        # a few processes.
+        assert slow - fast <= 4

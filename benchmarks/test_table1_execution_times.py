@@ -1,0 +1,38 @@
+"""Table 1: benchmark execution times under each migration scenario.
+
+Regenerates the paper's Table 1 by running each benchmark alone in the
+simulated testbed: vanilla x86, x86 with the function on the FPGA
+(card preconfigured), and x86 with the function migrated to ARM via
+Popcorn. Shape requirements (all from Section 4):
+
+* every scenario time lands within 2% of the paper's measurement
+  (the profiles are calibrated; the DES adds only protocol overheads);
+* the FPGA wins for FaceDet640 / Digit500 / Digit2000 and loses for
+  CG-A / FaceDet320;
+* ARM in isolation is always slower than x86;
+* CG-A is the only benchmark where ARM beats the FPGA.
+"""
+
+import pytest
+
+from repro.experiments import table1_execution_times
+from repro.workloads import PAPER_BENCHMARKS, PAPER_TABLE1_MS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_execution_times(report):
+    result = report(table1_execution_times)
+    rows = {row[0]: row for row in result.rows}
+
+    for name in PAPER_BENCHMARKS:
+        _, x86_ms, fpga_ms, arm_ms, _paper = rows[name]
+        paper_x86, paper_fpga, paper_arm = PAPER_TABLE1_MS[name]
+        assert x86_ms == pytest.approx(paper_x86, rel=0.02)
+        assert fpga_ms == pytest.approx(paper_fpga, rel=0.02)
+        assert arm_ms == pytest.approx(paper_arm, rel=0.02)
+        # ARM is always the slowest isolated option vs x86.
+        assert arm_ms > x86_ms
+        # FPGA wins exactly where the paper says it does.
+        assert (fpga_ms < x86_ms) == (paper_fpga < paper_x86)
+        # CG-A is the only ARM-beats-FPGA benchmark.
+        assert (arm_ms < fpga_ms) == (name == "cg.A")

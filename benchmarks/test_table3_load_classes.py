@@ -1,0 +1,29 @@
+"""Table 3: the CPU-load class definition.
+
+Regenerates the low/medium/high classification for the paper's 102-core
+testbed and checks the boundaries the experiments rely on: Figure 3
+runs below 6 processes (low), Figure 4 at 60 (medium), Figure 5 at 120
+(high).
+"""
+
+import pytest
+
+from repro.experiments import LoadClass, classify_load, table3_load_classes
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_load_classes(report):
+    result = report(table3_load_classes)
+    assert [row[0] for row in result.rows] == [
+        LoadClass.LOW,
+        LoadClass.MEDIUM,
+        LoadClass.HIGH,
+    ]
+    # The experiment operating points of Figures 3-5.
+    assert classify_load(5) == LoadClass.LOW
+    assert classify_load(60) == LoadClass.MEDIUM
+    assert classify_load(120) == LoadClass.HIGH
+    # Boundaries at the testbed's core counts.
+    assert classify_load(6) == LoadClass.MEDIUM
+    assert classify_load(102) == LoadClass.MEDIUM
+    assert classify_load(103) == LoadClass.HIGH

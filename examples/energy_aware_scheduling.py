@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Energy-aware scheduling — the paper's Section 5 extension, running.
+
+The paper optimizes performance only, noting that power optimization
+would need metrics like performance-per-watt or energy-delay product
+(EDP) and ThunderX-class ARM CPUs are not power-efficient — but the
+*per-core* watts still differ wildly across the three targets. This
+example runs the same workload under three policies and prints the
+time/energy frontier:
+
+* the paper's Algorithm 2 threshold heuristic (performance-oriented);
+* a cost-model policy (explicit time minimization);
+* EDP-minimizing energy-aware scheduling.
+
+Run: ``python examples/energy_aware_scheduling.py``
+"""
+
+from repro.core import (
+    SystemMode,
+    build_system,
+    cost_model_policy,
+    energy_aware_policy,
+    marginal_run_energy,
+)
+from repro.hardware import PowerModel
+from repro.workloads import all_profiles, profile_for
+
+APPS = ["digit.2000", "facedet.640", "digit.500"]
+BACKGROUND = 40
+
+
+def run_policy(name: str, policy) -> None:
+    runtime = build_system(APPS, seed=9, policy=policy)
+    runtime.platform.sim.run_until_event(runtime.preload_fpga())
+    model = PowerModel()
+    load = runtime.launch_background(BACKGROUND, work_s=120.0)
+    events = [
+        runtime.launch(app, seed=i, mode=SystemMode.XAR_TREK, delay_s=0.01)
+        for i, app in enumerate(APPS)
+    ]
+    records = runtime.wait_all(events)
+    load.stop()
+
+    avg_s = sum(r.elapsed_s for r in records) / len(records)
+    # Marginal energy of the measured apps (host watts + target watts),
+    # excluding the background load's consumption.
+    energy_j = sum(
+        marginal_run_energy(profile_for(r.app), r.dominant_target(), model)
+        for r in records
+    )
+    placements = [str(t) for r in records for t in r.targets]
+    print(
+        f"{name:22s} avg {avg_s * 1e3:8.1f} ms   app energy {energy_j:7.1f} J   "
+        f"EDP {energy_j * avg_s:8.1f} J*s   placements {placements}"
+    )
+
+
+def main() -> None:
+    profiles = all_profiles()
+    print(f"{len(APPS)} applications, {BACKGROUND} background processes\n")
+    run_policy("Algorithm 2 heuristic", None)
+    run_policy("cost model", cost_model_policy(profiles))
+    run_policy("energy-aware (EDP)", energy_aware_policy(profiles, delay_exponent=1.0))
+    run_policy("energy-only", energy_aware_policy(profiles, delay_exponent=0.0))
+    print(
+        "\nThe ARM server's ~0.85 W/core (vs the Xeon's ~10 W/core and the "
+        "FPGA's ~40 W/kernel) makes it the energy haven; EDP policies "
+        "trade completion time for joules, exactly the axis the paper "
+        "leaves as future work."
+    )
+
+
+if __name__ == "__main__":
+    main()

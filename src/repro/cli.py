@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the workload registry with calibrated per-target times;
+* ``table {1,2,3,4}`` / ``figure {3..10}`` — regenerate one of the
+  paper's tables/figures and print it;
+* ``run APP`` — one application run on the simulated testbed under a
+  chosen system and background load;
+* ``compile`` — run the compiler pipeline (steps A-G) over a set of
+  applications, print the artifact summary, optionally dump XELF
+  binaries to a directory;
+* ``thresholds`` — print step G's threshold table (Table 2's format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.compiler import XarTrekCompiler
+from repro.core import SystemMode, build_system
+from repro.core.runtime import spec_for
+from repro.popcorn.elf import dump_xelf
+from repro.workloads import PAPER_BENCHMARKS, available_workloads, profile_for
+
+__all__ = ["main"]
+
+_MODES = {
+    "x86": SystemMode.VANILLA_X86,
+    "arm": SystemMode.VANILLA_ARM,
+    "fpga": SystemMode.ALWAYS_FPGA,
+    "xar-trek": SystemMode.XAR_TREK,
+}
+
+_TABLES = {1: "table1_execution_times", 2: "table2_thresholds",
+           3: "table3_load_classes", 4: "table4_bfs"}
+_FIGURES = {3: "figure3_low_load", 4: "figure4_medium_load",
+            5: "figure5_high_load", 6: "figure6_throughput",
+            7: "figure7_periodic_execution", 8: "figure8_periodic_throughput",
+            9: "figure9_profitability", 10: "figure10_binary_sizes"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Xar-Trek reproduction: simulate run-time execution "
+        "migration among FPGAs and heterogeneous-ISA CPUs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and their calibrated profiles")
+
+    table = sub.add_parser("table", help="regenerate one of the paper's tables")
+    table.add_argument("number", type=int, choices=sorted(_TABLES))
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument("--repeats", type=int, default=10,
+                        help="repeats for the randomized-set figures (3-5)")
+    figure.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run one application on the testbed")
+    run.add_argument("app", help="workload name, e.g. digit.2000 or bfs.1000")
+    run.add_argument("--mode", choices=sorted(_MODES), default="xar-trek")
+    run.add_argument("--background", type=int, default=0,
+                     help="MG-B load generators on the x86 host")
+    run.add_argument("--calls", type=int, default=None,
+                     help="override calls per run (throughput app)")
+    run.add_argument("--deadline", type=float, default=None,
+                     help="stop issuing calls after this many seconds")
+    run.add_argument("--functional", action="store_true",
+                     help="also execute the real kernel and verify")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--timeline", default=None, metavar="FILE",
+                     help="write a CSV timeline of the run (.json for JSON)")
+
+    report = sub.add_parser(
+        "report", help="regenerate every table and figure (EXPERIMENTS.md data)"
+    )
+    report.add_argument("--repeats", type=int, default=10)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--quick", action="store_true",
+                        help="3 repeats and skip the periodic figures")
+
+    compile_cmd = sub.add_parser("compile", help="run compiler steps A-G")
+    compile_cmd.add_argument("--apps", nargs="+", default=list(PAPER_BENCHMARKS))
+    compile_cmd.add_argument("--replicate-cus", action="store_true",
+                             help="space-sharing: replicate compute units")
+    compile_cmd.add_argument("--output-dir", default=None,
+                             help="dump XELF binaries here")
+
+    thresholds = sub.add_parser("thresholds", help="print step G's table")
+    thresholds.add_argument("--apps", nargs="+", default=list(PAPER_BENCHMARKS))
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.report import format_table
+
+    rows = []
+    # facedet.multi shares facedet.320's profile; skip the alias.
+    names = [n for n in available_workloads() if n != "facedet.multi"]
+    for name in (*names, "bfs.1000", "bfs.5000"):
+        profile = profile_for(name)
+        rows.append(
+            [
+                name,
+                profile.kernel_name or "-",
+                f"{profile.vanilla_x86_s * 1e3:.1f}",
+                f"{profile.x86_fpga_s * 1e3:.1f}" if profile.fpga_capable else "-",
+                f"{profile.x86_arm_s * 1e3:.1f}" if profile.arm_capable else "-",
+                profile.calls_per_run,
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "hw kernel", "x86 (ms)", "x86/FPGA (ms)", "x86/ARM (ms)", "calls"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_table(number: int) -> int:
+    import repro.experiments as experiments
+
+    result = getattr(experiments, _TABLES[number])()
+    print(result.to_text())
+    return 0
+
+
+def _cmd_figure(number: int, repeats: int, seed: int) -> int:
+    import repro.experiments as experiments
+
+    fn = getattr(experiments, _FIGURES[number])
+    if number in (3, 4, 5):
+        result = fn(repeats=repeats, seed=seed)
+    elif number in (6, 7, 8, 9):
+        result = fn(seed=seed)
+    else:
+        result = fn()
+    print(result.to_text())
+    return 0
+
+
+def _cmd_report(repeats: int, seed: int, quick: bool) -> int:
+    import repro.experiments as experiments
+
+    if quick:
+        repeats = min(repeats, 3)
+    for number in sorted(_TABLES):
+        print(getattr(experiments, _TABLES[number])().to_text())
+        print()
+    for number in sorted(_FIGURES):
+        if quick and number in (7, 8):
+            continue
+        fn = getattr(experiments, _FIGURES[number])
+        if number in (3, 4, 5):
+            result = fn(repeats=repeats, seed=seed)
+        elif number in (6, 7, 8, 9):
+            result = fn(seed=seed)
+        else:
+            result = fn()
+        print(result.to_text())
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mode = _MODES[args.mode]
+    trace = bool(args.timeline)
+    runtime = build_system([args.app], seed=args.seed, trace=trace)
+    load = runtime.launch_background(args.background) if args.background else None
+    done = runtime.launch(
+        args.app, seed=args.seed, mode=mode, calls=args.calls,
+        deadline_s=args.deadline, functional=args.functional, delay_s=0.01,
+    )
+    record = runtime.platform.sim.run_until_event(done)
+    if load is not None:
+        load.stop()
+    print(f"application : {record.app}")
+    print(f"system      : {mode.value}")
+    print(f"elapsed     : {record.elapsed_s * 1e3:.1f} ms")
+    print(f"calls       : {record.calls_completed}")
+    print(f"targets     : {', '.join(str(t) for t in record.targets) or '-'}")
+    print(f"migrations  : {record.migrations}")
+    if args.functional:
+        print(f"verified    : {record.verified}")
+    if args.timeline:
+        from repro.experiments import extract_timeline
+
+        timeline = extract_timeline(runtime)
+        payload = (
+            timeline.to_json()
+            if args.timeline.endswith(".json")
+            else timeline.to_csv()
+        )
+        with open(args.timeline, "w") as handle:
+            handle.write(payload)
+        print(f"timeline    : {args.timeline} ({len(timeline)} events)")
+    if record.verified is False:
+        return 1
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    compiler = XarTrekCompiler(replicate_compute_units=args.replicate_cus)
+    result = compiler.compile(spec_for(args.apps))
+    for name, app in result.applications.items():
+        binary = app.compiled.binary
+        print(
+            f"{name:14s} multi-ISA binary {binary.size_bytes / 1e6:5.2f} MB "
+            f"({len(binary.symbols)} symbols, "
+            f"{len(app.compiled.metadata)} migration points)"
+        )
+    for image_name, image in result.xclbins.items():
+        cus = {k: image.compute_units(k) for k in image.kernel_names}
+        print(f"{image_name}: {image.size_bytes / 1e6:.2f} MB, compute units {cus}")
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+        for name, app in result.applications.items():
+            path = os.path.join(args.output_dir, f"{name}.xelf")
+            size = dump_xelf(path, app.compiled.binary, app.compiled.metadata)
+            print(f"wrote {path} ({size} bytes)")
+    return 0
+
+
+def _cmd_thresholds(apps: list[str]) -> int:
+    result = XarTrekCompiler().compile(spec_for(apps))
+    print(result.thresholds.to_text(), end="")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "table":
+        return _cmd_table(args.number)
+    if args.command == "figure":
+        return _cmd_figure(args.number, args.repeats, args.seed)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args.repeats, args.seed, args.quick)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "thresholds":
+        return _cmd_thresholds(args.apps)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""The Xar-Trek compiler framework (Figure 1, steps A-G)."""
+
+from repro.compiler.hls import (
+    HLSError,
+    HLSReport,
+    KernelIR,
+    OpCounts,
+    estimate,
+    kernel_ir_for,
+)
+from repro.compiler.instrument import (
+    CallSite,
+    CallSiteKind,
+    InstrumentedApplication,
+    instrument,
+)
+from repro.compiler.multi_isa import (
+    SUPPORTED_ISAS,
+    CodeModel,
+    CompiledBinary,
+    compile_multi_isa,
+)
+from repro.compiler.partition import PartitionError, XCLBINPlan, partition
+from repro.compiler.pipeline import (
+    CompilationResult,
+    CompiledApplication,
+    XarTrekCompiler,
+)
+from repro.compiler.profiling import (
+    ApplicationSpec,
+    ProfilingSpec,
+    SelectedFunction,
+    SpecError,
+)
+from repro.compiler.sizes import SizeBreakdown, single_isa_size, size_breakdown
+from repro.compiler.threshold_estimation import (
+    estimate_thresholds,
+    simulate_x86_time_under_load,
+    x86_time_under_load,
+)
+from repro.compiler.xclbin import XCLBIN, generate_xclbin
+from repro.compiler.xo import XilinxObject, generate_xo
+
+__all__ = [
+    "ApplicationSpec",
+    "CallSite",
+    "CallSiteKind",
+    "CodeModel",
+    "CompilationResult",
+    "CompiledApplication",
+    "CompiledBinary",
+    "HLSError",
+    "HLSReport",
+    "InstrumentedApplication",
+    "KernelIR",
+    "OpCounts",
+    "PartitionError",
+    "ProfilingSpec",
+    "SUPPORTED_ISAS",
+    "SelectedFunction",
+    "SizeBreakdown",
+    "SpecError",
+    "XCLBIN",
+    "XCLBINPlan",
+    "XarTrekCompiler",
+    "XilinxObject",
+    "compile_multi_isa",
+    "estimate",
+    "estimate_thresholds",
+    "generate_xclbin",
+    "generate_xo",
+    "instrument",
+    "kernel_ir_for",
+    "partition",
+    "simulate_x86_time_under_load",
+    "single_isa_size",
+    "size_breakdown",
+    "x86_time_under_load",
+]

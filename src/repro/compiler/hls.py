@@ -1,0 +1,222 @@
+"""Step D substrate — a Vitis-HLS-like estimation model.
+
+Real Vitis maps a C function to FPGA logic and reports resource use
+(LUT/FF/BRAM/DSP/URAM) and latency. This module reproduces that
+contract: a :class:`KernelIR` describes the function's compute shape
+(operation mix, loop structure, on-chip buffers), and :func:`estimate`
+produces an :class:`HLSReport` using documented per-operation cost
+formulas in the spirit of HLS resource estimation. The absolute numbers
+are model parameters; what matters downstream is that (a) kernels with
+more compute demand more area, (b) the partitioner (step E) packs
+against these vectors, and (c) on-chip buffer needs bound feasible
+problem sizes (Section 4.4's "could not support graphs larger than
+5,000 nodes" falls out of the URAM/BRAM bound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.fpga import FPGAResources, FPGASpec
+
+__all__ = ["OpCounts", "KernelIR", "HLSReport", "estimate", "HLSError", "kernel_ir_for"]
+
+
+class HLSError(Exception):
+    """Raised when a kernel cannot be synthesized (e.g. exceeds the die)."""
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation mix of one loop-nest iteration."""
+
+    int_add: int = 0
+    int_mul: int = 0
+    float_add: int = 0
+    float_mul: int = 0
+    compare: int = 0
+    load_store: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.int_add + self.int_mul + self.float_add
+            + self.float_mul + self.compare + self.load_store
+        )
+
+
+@dataclass(frozen=True)
+class KernelIR:
+    """The compute shape HLS sees for one self-contained function."""
+
+    name: str
+    ops: OpCounts
+    trip_count: int  # total loop iterations per invocation
+    unroll: int = 1  # spatial parallelism (replicated datapath)
+    pipeline_ii: int = 1  # initiation interval of the pipelined loop
+    buffer_bytes: int = 0  # on-chip working buffers
+    irregular_access: bool = False  # pointer-chasing / data-dependent loads
+    streams: int = 1  # AXI stream ports
+
+    def __post_init__(self):
+        if self.trip_count < 1:
+            raise HLSError(f"{self.name}: trip count must be >= 1")
+        if self.unroll < 1 or self.pipeline_ii < 1:
+            raise HLSError(f"{self.name}: unroll and II must be >= 1")
+
+
+@dataclass(frozen=True)
+class HLSReport:
+    """What Vitis reports after synthesis of one kernel."""
+
+    kernel_name: str
+    resources: FPGAResources
+    latency_cycles: int
+    clock_mhz: float
+    ii: int
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles / (self.clock_mhz * 1e6)
+
+
+# Per-operation datapath costs (one unrolled lane), in the ballpark of
+# Vitis reports for 32/64-bit arithmetic on UltraScale+.
+_LUT_PER_OP = {
+    "int_add": 64,
+    "int_mul": 250,
+    "float_add": 400,
+    "float_mul": 120,  # mostly in DSPs
+    "compare": 32,
+    "load_store": 90,
+}
+_DSP_PER_OP = {"int_mul": 3, "float_add": 2, "float_mul": 3}
+_FF_PER_LUT = 1.6
+_BRAM_BYTES = 4608  # one BRAM36 holds 36 Kib = 4.5 KiB
+_URAM_BYTES = 36864  # one URAM holds 288 Kib
+_BASE_LUT = 6000  # AXI/control overhead per kernel
+_BASE_BRAM = 8
+_CLOCK_MHZ = 300.0
+#: Penalty multiplier on the achievable II for data-dependent accesses:
+#: pointer chasing defeats pipelining (Section 4.4, [54]).
+_IRREGULAR_II_FACTOR = 12
+
+
+def estimate(ir: KernelIR, device: FPGASpec | None = None) -> HLSReport:
+    """Synthesize (estimate) one kernel.
+
+    Raises :class:`HLSError` if the kernel cannot fit the device —
+    including its on-chip buffers, which is what limits BFS graph sizes
+    on the Alveo U50.
+    """
+    lanes = ir.unroll
+    lut = _BASE_LUT + ir.streams * 1500
+    dsp = 0
+    for op_name in ("int_add", "int_mul", "float_add", "float_mul", "compare", "load_store"):
+        count = getattr(ir.ops, op_name)
+        lut += _LUT_PER_OP[op_name] * count * lanes
+        dsp += _DSP_PER_OP.get(op_name, 0) * count * lanes
+    ff = int(lut * _FF_PER_LUT)
+
+    # Buffers go to URAM first (deeper), remainder to BRAM.
+    uram = 0
+    bram = _BASE_BRAM
+    remaining = ir.buffer_bytes
+    if remaining > 2 * _URAM_BYTES:
+        uram = min(remaining // _URAM_BYTES, 256)
+        remaining -= uram * _URAM_BYTES
+    bram += math.ceil(remaining / _BRAM_BYTES)
+
+    resources = FPGAResources(lut=lut, ff=ff, bram=bram, dsp=dsp, uram=uram)
+    if device is not None and not resources.fits_in(device.usable_resources):
+        raise HLSError(
+            f"{ir.name}: kernel needs {resources} which exceeds "
+            f"{device.name}'s usable area"
+        )
+
+    effective_ii = ir.pipeline_ii * (_IRREGULAR_II_FACTOR if ir.irregular_access else 1)
+    latency = math.ceil(ir.trip_count / lanes) * effective_ii + 100  # +ramp-up
+    return HLSReport(
+        kernel_name=ir.name,
+        resources=resources,
+        latency_cycles=latency,
+        clock_mhz=_CLOCK_MHZ,
+        ii=effective_ii,
+    )
+
+
+#: Hand-built IRs for the paper's kernels: op mixes mirror the actual
+#: inner loops of the functional implementations in repro.workloads.
+_KERNEL_IRS: dict[str, KernelIR] = {
+    # CG: sparse mat-vec dominates; gather of x[indices[k]] is irregular.
+    "KNL_HW_CG_A": KernelIR(
+        name="KNL_HW_CG_A",
+        ops=OpCounts(float_add=2, float_mul=2, int_add=2, load_store=4),
+        trip_count=2_000_000 * 25 // 100,  # nnz x cgitmax (scaled)
+        unroll=2,
+        buffer_bytes=14000 * 8 * 4,  # x, z, r, p vectors on-chip
+        irregular_access=True,
+    ),
+    # Face detection: integral-image window scan, dense and regular.
+    "KNL_HW_FD320": KernelIR(
+        name="KNL_HW_FD320",
+        ops=OpCounts(int_add=12, compare=5, load_store=16),
+        trip_count=320 * 240,
+        unroll=4,
+        buffer_bytes=320 * 240 * 4,  # integral image
+    ),
+    "KNL_HW_FD640": KernelIR(
+        name="KNL_HW_FD640",
+        ops=OpCounts(int_add=12, compare=5, load_store=16),
+        trip_count=640 * 480,
+        unroll=4,
+        buffer_bytes=640 * 480 * 4,
+    ),
+    # Digit recognition: XOR-popcount over the training set, very regular.
+    "KNL_HW_DR500": KernelIR(
+        name="KNL_HW_DR500",
+        ops=OpCounts(int_add=8, compare=2, load_store=4),
+        trip_count=500 * 2000,
+        unroll=8,
+        buffer_bytes=18000 * 32,  # packed training set
+    ),
+    "KNL_HW_DR200": KernelIR(
+        name="KNL_HW_DR200",
+        ops=OpCounts(int_add=8, compare=2, load_store=4),
+        trip_count=2000 * 2000,
+        unroll=8,
+        buffer_bytes=18000 * 32,
+    ),
+    # Spam filter (extension workload): SGD dot products + sigmoid —
+    # dense float MACs, very HLS-friendly.
+    "KNL_HW_SF1024": KernelIR(
+        name="KNL_HW_SF1024",
+        ops=OpCounts(float_add=2, float_mul=2, load_store=3),
+        trip_count=900 * 1024 * 5 // 8,
+        unroll=8,
+        buffer_bytes=1024 * 8 + 64 * 1024,  # weights + streaming batch
+    ),
+}
+
+
+def kernel_ir_for(kernel_name: str) -> KernelIR:
+    """The IR for a paper kernel; BFS IRs are derived from the node count."""
+    if kernel_name in _KERNEL_IRS:
+        return _KERNEL_IRS[kernel_name]
+    if kernel_name.startswith("KNL_HW_BFS"):
+        try:
+            n_nodes = int(kernel_name[len("KNL_HW_BFS"):])
+        except ValueError:
+            raise KeyError(f"bad BFS kernel name {kernel_name!r}") from None
+        # The whole frontier/level arrays and CSR graph must sit on-chip;
+        # growth is quadratic-ish in nodes for the naive HLS mapping.
+        return KernelIR(
+            name=kernel_name,
+            ops=OpCounts(int_add=4, compare=3, load_store=6),
+            trip_count=n_nodes * n_nodes // 16,
+            unroll=1,
+            buffer_bytes=n_nodes * 8 * 10,
+            irregular_access=True,
+        )
+    raise KeyError(f"no kernel IR for {kernel_name!r}")

@@ -1,0 +1,92 @@
+"""Step B — instrumentation.
+
+For each application with selected functions, the instrumentation tool
+rewrites the source (Section 3.1): it inserts scheduler-client calls at
+the start and end of ``main``, an FPGA-configuration call at ``main``'s
+start (so hardware kernels are warm before first use — load-bearing for
+Figure 6), and replaces each selected function's call site with a
+three-way dispatch on the scheduler's migration flag (x86 / ARM /
+FPGA).
+
+The output is a description of the inserted call sites that the
+run-time's application model executes; tests assert the instrumentation
+contract (ordering, completeness) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.profiling import ApplicationSpec
+
+__all__ = ["CallSiteKind", "CallSite", "InstrumentedApplication", "instrument"]
+
+
+class CallSiteKind:
+    """The kinds of calls the instrumentation step inserts."""
+
+    SCHEDULER_REGISTER = "scheduler_register"  # main() entry
+    FPGA_CONFIGURE = "fpga_configure"  # main() entry, right after register
+    DISPATCH = "dispatch"  # replaces each selected call
+    THRESHOLD_UPDATE = "threshold_update"  # after each selected call returns
+    SCHEDULER_UNREGISTER = "scheduler_unregister"  # main() exit
+
+    ORDERED = (
+        SCHEDULER_REGISTER,
+        FPGA_CONFIGURE,
+        DISPATCH,
+        THRESHOLD_UPDATE,
+        SCHEDULER_UNREGISTER,
+    )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One inserted call."""
+
+    kind: str
+    location: str  # e.g. "main:entry", "main:call[detect_faces]"
+    function: str = ""  # the selected function, for dispatch/update sites
+
+
+@dataclass(frozen=True)
+class InstrumentedApplication:
+    """Step B's output for one application."""
+
+    name: str
+    selected_functions: tuple[str, ...]
+    kernels: dict[str, str]  # function -> hardware kernel name
+    call_sites: tuple[CallSite, ...] = field(default_factory=tuple)
+
+    def sites_of(self, kind: str) -> tuple[CallSite, ...]:
+        return tuple(site for site in self.call_sites if site.kind == kind)
+
+    def kernel_for(self, function: str) -> str:
+        try:
+            return self.kernels[function]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: {function!r} is not a selected function"
+            ) from None
+
+
+def instrument(app: ApplicationSpec) -> InstrumentedApplication:
+    """Insert Xar-Trek's run-time hooks into one application."""
+    sites: list[CallSite] = [
+        CallSite(CallSiteKind.SCHEDULER_REGISTER, "main:entry"),
+        CallSite(CallSiteKind.FPGA_CONFIGURE, "main:entry"),
+    ]
+    for fn in app.functions:
+        sites.append(
+            CallSite(CallSiteKind.DISPATCH, f"main:call[{fn.name}]", fn.name)
+        )
+        sites.append(
+            CallSite(CallSiteKind.THRESHOLD_UPDATE, f"main:after[{fn.name}]", fn.name)
+        )
+    sites.append(CallSite(CallSiteKind.SCHEDULER_UNREGISTER, "main:exit"))
+    return InstrumentedApplication(
+        name=app.name,
+        selected_functions=tuple(fn.name for fn in app.functions),
+        kernels={fn.name: fn.kernel_name for fn in app.functions},
+        call_sites=tuple(sites),
+    )

@@ -1,0 +1,156 @@
+"""Step C — multi-ISA binary generation (the Popcorn compiler step).
+
+The only pipeline step Xar-Trek inherits unchanged from Popcorn Linux
+(Section 3.1): compile the instrumented C source for every target ISA,
+align all symbols across images, insert migration points at
+cross-ISA-equivalent locations, and emit the liveness metadata the
+run-time state transformer needs.
+
+Here "compilation" builds the artifacts from an application's code
+model: per-ISA section sizes from a bytes-per-LOC model (Popcorn
+binaries are statically linked, hence the large constant), a symbol
+table covering main/selected functions/globals, and migration points at
+each selected function's call boundary with a deterministic live-
+variable set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.popcorn.binary import ISAImage, MultiISABinary, Symbol, SymbolKind
+from repro.popcorn.migration_points import (
+    CType,
+    LivenessMetadata,
+    MigrationPoint,
+    allocate_locations,
+)
+
+__all__ = ["CodeModel", "CompiledBinary", "compile_multi_isa", "SUPPORTED_ISAS"]
+
+SUPPORTED_ISAS: tuple[str, ...] = ("x86_64", "aarch64")
+
+#: Text bytes per line of C, per ISA (x86 is denser; AArch64 is
+#: fixed-width 4-byte instructions and spills more).
+_TEXT_BYTES_PER_LOC = {"x86_64": 10.5, "aarch64": 12.0}
+#: Statically linked C runtime (Popcorn links musl statically).
+_RUNTIME_TEXT_BYTES = {"x86_64": 200_000, "aarch64": 220_000}
+_DATA_BYTES_BASE = 64_000
+#: Cross-ISA symbol alignment wastes slot space (max-size slots).
+_ALIGNMENT_OVERHEAD = 0.08
+#: Popcorn's per-call-site liveness/unwind metadata grows with code
+#: size; this is what makes the 900-LOC CG binary visibly larger than
+#: the 300-500-LOC benchmarks in Figure 10.
+_METADATA_BYTES_PER_LOC = 150
+
+
+@dataclass(frozen=True)
+class CodeModel:
+    """What the compiler knows about an application's source."""
+
+    application: str
+    loc: int
+    selected_functions: tuple[str, ...]
+    data_bytes: int = 0
+
+    def __post_init__(self):
+        if self.loc <= 0:
+            raise ValueError(f"{self.application}: loc must be positive")
+
+
+@dataclass(frozen=True)
+class CompiledBinary:
+    """Step C's output: the multi-ISA binary plus its liveness metadata."""
+
+    binary: MultiISABinary
+    metadata: LivenessMetadata
+
+    @property
+    def size_bytes(self) -> int:
+        return self.binary.size_bytes
+
+
+def _live_vars_for(function: str, point_kind: str):
+    """A deterministic live-variable set for a function's call boundary.
+
+    Variable count (4-12) and types derive from the function name's
+    hash, so different functions exercise different register/stack
+    splits while staying reproducible.
+    """
+    digest = hashlib.sha256(f"{function}/{point_kind}".encode()).digest()
+    count = 4 + digest[0] % 9
+    types = (CType.I64, CType.I32, CType.PTR, CType.F64, CType.I64)
+    variables = [
+        (f"{point_kind}_v{i}", types[digest[1 + i % 16] % len(types)])
+        for i in range(count)
+    ]
+    return allocate_locations(variables, isas=SUPPORTED_ISAS)
+
+
+def _migration_points(code: CodeModel) -> list[MigrationPoint]:
+    """Call and return points for every selected function, plus main's."""
+    points: list[MigrationPoint] = []
+    next_id = 1
+    for function in code.selected_functions:
+        for kind, offset in (("call", 0x10), ("return", 0x400)):
+            points.append(
+                MigrationPoint(
+                    point_id=next_id,
+                    function=function,
+                    offset=offset,
+                    live_vars=tuple(_live_vars_for(function, kind)),
+                )
+            )
+            next_id += 1
+    points.append(
+        MigrationPoint(
+            point_id=next_id,
+            function="main",
+            offset=0x20,
+            live_vars=tuple(_live_vars_for("main", "entry")),
+        )
+    )
+    return points
+
+
+def compile_multi_isa(
+    code: CodeModel, isas: tuple[str, ...] = SUPPORTED_ISAS
+) -> CompiledBinary:
+    """Compile one application for all target ISAs."""
+    metadata = LivenessMetadata(_migration_points(code))
+    data_bytes = _DATA_BYTES_BASE + code.data_bytes
+
+    symbols = [
+        Symbol(
+            "main",
+            SymbolKind.FUNCTION,
+            {isa: int(60 * _TEXT_BYTES_PER_LOC[isa]) for isa in isas},
+        )
+    ]
+    per_fn_loc = max(20, code.loc // (2 * max(1, len(code.selected_functions))))
+    for function in code.selected_functions:
+        symbols.append(
+            Symbol(
+                function,
+                SymbolKind.FUNCTION,
+                {isa: int(per_fn_loc * _TEXT_BYTES_PER_LOC[isa]) for isa in isas},
+            )
+        )
+    symbols.append(Symbol("__global_data", SymbolKind.OBJECT, {isa: data_bytes for isa in isas}))
+
+    images = {}
+    for isa in isas:
+        text = int(
+            (code.loc * _TEXT_BYTES_PER_LOC[isa] + _RUNTIME_TEXT_BYTES[isa])
+            * (1 + _ALIGNMENT_OVERHEAD)
+        )
+        images[isa] = ISAImage(
+            isa=isa,
+            text_bytes=text,
+            data_bytes=data_bytes,
+            metadata_bytes=metadata.size_bytes()
+            + _METADATA_BYTES_PER_LOC * code.loc,
+        )
+    binary = MultiISABinary(code.application, images=images, symbols=symbols)
+    return CompiledBinary(binary=binary, metadata=metadata)

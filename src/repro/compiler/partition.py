@@ -1,0 +1,117 @@
+"""Step E — XCLBIN partitioning.
+
+Gathers each XO's resource utilization and the device's usable area
+(after the static shell: host interface, reconfiguration control,
+memory controllers) and assigns kernels to one or more XCLBIN files.
+Automatic mode packs by first-fit-decreasing on the binding-constraint
+fraction; manual groups from the profiling spec pin kernels together so
+a designer can co-locate high-priority functions (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.xo import XilinxObject
+from repro.hardware.fpga import FPGAResources, FPGASpec
+
+__all__ = ["XCLBINPlan", "PartitionError", "partition"]
+
+
+class PartitionError(Exception):
+    """Raised when a kernel set cannot be partitioned onto the device."""
+
+
+@dataclass
+class XCLBINPlan:
+    """One planned configuration file: which kernels share an image."""
+
+    name: str
+    objects: list[XilinxObject] = field(default_factory=list)
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(obj.kernel_name for obj in self.objects)
+
+    @property
+    def resources(self) -> FPGAResources:
+        total = FPGAResources()
+        for obj in self.objects:
+            total = total + obj.resources
+        return total
+
+    def fits(self, device: FPGASpec) -> bool:
+        return self.resources.fits_in(device.usable_resources)
+
+
+def partition(
+    objects: list[XilinxObject],
+    device: FPGASpec,
+    manual_groups: dict[str, str] | None = None,
+) -> list[XCLBINPlan]:
+    """Assign XOs to XCLBINs under the device's area budget.
+
+    ``manual_groups`` maps kernel name -> group label; all kernels with
+    the same label must share one XCLBIN (an error if they cannot fit).
+    Ungrouped kernels are packed automatically, first-fit-decreasing.
+    Returns plans in creation order; every input object appears exactly
+    once.
+    """
+    if not objects:
+        return []
+    budget = device.usable_resources
+    seen: set[str] = set()
+    for obj in objects:
+        if obj.kernel_name in seen:
+            raise PartitionError(f"duplicate kernel {obj.kernel_name!r}")
+        seen.add(obj.kernel_name)
+        if not obj.resources.fits_in(budget):
+            raise PartitionError(
+                f"kernel {obj.kernel_name!r} alone exceeds {device.name}'s "
+                f"usable area"
+            )
+
+    manual_groups = manual_groups or {}
+    plans: list[XCLBINPlan] = []
+
+    # Manual groups first, in first-appearance order.
+    group_order: list[str] = []
+    grouped: dict[str, list[XilinxObject]] = {}
+    auto: list[XilinxObject] = []
+    for obj in objects:
+        label = manual_groups.get(obj.kernel_name)
+        if label is None:
+            auto.append(obj)
+        else:
+            if label not in grouped:
+                group_order.append(label)
+                grouped[label] = []
+            grouped[label].append(obj)
+    for label in group_order:
+        plan = XCLBINPlan(name=f"xclbin_{label}", objects=grouped[label])
+        if not plan.fits(device):
+            raise PartitionError(
+                f"manual group {label!r} ({plan.kernel_names}) exceeds the "
+                f"usable area; split the group"
+            )
+        plans.append(plan)
+
+    # Auto kernels: first-fit-decreasing by binding fraction, trying
+    # manual plans' leftover space first.
+    auto_sorted = sorted(
+        auto, key=lambda o: -o.resources.max_fraction_of(budget)
+    )
+    auto_plans: list[XCLBINPlan] = []
+    for obj in auto_sorted:
+        placed = False
+        for plan in plans + auto_plans:
+            trial = plan.resources + obj.resources
+            if trial.fits_in(budget):
+                plan.objects.append(obj)
+                placed = True
+                break
+        if not placed:
+            auto_plans.append(
+                XCLBINPlan(name=f"xclbin_auto{len(auto_plans)}", objects=[obj])
+            )
+    return plans + auto_plans

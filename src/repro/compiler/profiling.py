@@ -1,0 +1,148 @@
+"""Step A — the profiling specification.
+
+Profiling is the one manual step in Xar-Trek's pipeline (Section 3.1):
+an application designer, aided by gprof/valgrind, writes a text file
+naming (1) the hardware platform, (2) the applications, and (3) each
+application's selected functions — the self-contained compute kernels
+eligible for FPGA implementation. This module defines that file format
+(parser + writer) and the in-memory spec the rest of the pipeline
+consumes.
+
+Format (``#`` comments, blank lines ignored)::
+
+    platform alveo-u50
+    application cg.A
+        function conj_grad kernel=KNL_HW_CG_A
+    application facedet.320
+        function detect_faces kernel=KNL_HW_FD320 xclbin=group0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SelectedFunction", "ApplicationSpec", "ProfilingSpec", "SpecError"]
+
+
+class SpecError(Exception):
+    """Raised for malformed profiling specifications."""
+
+
+@dataclass(frozen=True)
+class SelectedFunction:
+    """One function chosen for hardware implementation."""
+
+    name: str
+    kernel_name: str
+    #: Optional manual XCLBIN assignment (Section 3.1's iterative
+    #: priority grouping); ``None`` means automatic partitioning.
+    xclbin_group: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """One application and its selected functions."""
+
+    name: str
+    functions: tuple[SelectedFunction, ...]
+
+    def __post_init__(self):
+        if not self.functions:
+            raise SpecError(f"application {self.name!r} selects no functions")
+        names = [fn.name for fn in self.functions]
+        if len(names) != len(set(names)):
+            raise SpecError(f"application {self.name!r} repeats a function")
+
+
+@dataclass(frozen=True)
+class ProfilingSpec:
+    """The parsed profiling file: platform + applications."""
+
+    platform: str
+    applications: tuple[ApplicationSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        names = [app.name for app in self.applications]
+        if len(names) != len(set(names)):
+            raise SpecError("duplicate application names in spec")
+
+    def application(self, name: str) -> ApplicationSpec:
+        for app in self.applications:
+            if app.name == name:
+                return app
+        raise SpecError(f"no application {name!r} in spec")
+
+    def all_functions(self) -> list[tuple[str, SelectedFunction]]:
+        """``(application_name, function)`` pairs in spec order."""
+        return [(app.name, fn) for app in self.applications for fn in app.functions]
+
+    # -- serialization -------------------------------------------------------
+    def to_text(self) -> str:
+        lines = [f"platform {self.platform}"]
+        for app in self.applications:
+            lines.append(f"application {app.name}")
+            for fn in app.functions:
+                parts = [f"    function {fn.name}", f"kernel={fn.kernel_name}"]
+                if fn.xclbin_group is not None:
+                    parts.append(f"xclbin={fn.xclbin_group}")
+                lines.append(" ".join(parts))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "ProfilingSpec":
+        platform: Optional[str] = None
+        apps: list[ApplicationSpec] = []
+        current_app: Optional[str] = None
+        current_fns: list[SelectedFunction] = []
+
+        def flush() -> None:
+            nonlocal current_app, current_fns
+            if current_app is not None:
+                apps.append(ApplicationSpec(current_app, tuple(current_fns)))
+            current_app, current_fns = None, []
+
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            keyword = tokens[0]
+            if keyword == "platform":
+                if platform is not None:
+                    raise SpecError(f"line {lineno}: duplicate platform")
+                if len(tokens) != 2:
+                    raise SpecError(f"line {lineno}: platform needs one name")
+                platform = tokens[1]
+            elif keyword == "application":
+                if len(tokens) != 2:
+                    raise SpecError(f"line {lineno}: application needs one name")
+                flush()
+                current_app = tokens[1]
+            elif keyword == "function":
+                if current_app is None:
+                    raise SpecError(f"line {lineno}: function outside application")
+                if len(tokens) < 3:
+                    raise SpecError(f"line {lineno}: function needs name and kernel=")
+                fn_name = tokens[1]
+                kernel: Optional[str] = None
+                group: Optional[str] = None
+                for opt in tokens[2:]:
+                    if "=" not in opt:
+                        raise SpecError(f"line {lineno}: bad option {opt!r}")
+                    key, value = opt.split("=", 1)
+                    if key == "kernel":
+                        kernel = value
+                    elif key == "xclbin":
+                        group = value
+                    else:
+                        raise SpecError(f"line {lineno}: unknown option {key!r}")
+                if not kernel:
+                    raise SpecError(f"line {lineno}: function needs kernel=")
+                current_fns.append(SelectedFunction(fn_name, kernel, group))
+            else:
+                raise SpecError(f"line {lineno}: unknown keyword {keyword!r}")
+        flush()
+        if platform is None:
+            raise SpecError("spec has no platform line")
+        return cls(platform=platform, applications=tuple(apps))

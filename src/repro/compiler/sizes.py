@@ -1,0 +1,68 @@
+"""Binary-size accounting (Figure 10).
+
+Three development processes, three artifact sets:
+
+* traditional FPGA (``x86+FPGA``): one single-ISA x86 executable plus
+  the XCLBIN;
+* Popcorn (``x86+ARM``): one multi-ISA executable (both ISA images,
+  aligned symbols, liveness metadata), no XCLBIN;
+* Xar-Trek: the multi-ISA executable *plus* the XCLBIN — it subsumes
+  both baselines, hence Figure 10's "always largest" result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.multi_isa import (
+    _RUNTIME_TEXT_BYTES,
+    _TEXT_BYTES_PER_LOC,
+    CodeModel,
+    compile_multi_isa,
+)
+from repro.compiler.xclbin import XCLBIN
+
+__all__ = ["SizeBreakdown", "single_isa_size", "size_breakdown"]
+
+
+def single_isa_size(code: CodeModel, isa: str = "x86_64") -> int:
+    """A traditional single-ISA, statically linked executable."""
+    text = int(code.loc * _TEXT_BYTES_PER_LOC[isa] + _RUNTIME_TEXT_BYTES[isa])
+    return text + 64_000 + code.data_bytes
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Figure 10's three bars for one application, in bytes."""
+
+    application: str
+    x86_fpga: int  # traditional FPGA development process
+    popcorn: int  # heterogeneous-ISA process (x86+ARM)
+    xar_trek: int  # both
+
+    @property
+    def increase_vs_x86_fpga(self) -> float:
+        """Xar-Trek's relative size increase over the FPGA baseline."""
+        return self.xar_trek / self.x86_fpga - 1.0
+
+    @property
+    def increase_vs_popcorn(self) -> float:
+        return self.xar_trek / self.popcorn - 1.0
+
+
+def size_breakdown(code: CodeModel, xclbin: XCLBIN) -> SizeBreakdown:
+    """Compute Figure 10's bars for one application.
+
+    ``xclbin`` is the image holding this application's kernel (its full
+    size counts for both FPGA-including processes, as in the paper —
+    the XCLBIN ships with the application even when shared).
+    """
+    compiled = compile_multi_isa(code)
+    multi_isa = compiled.size_bytes
+    single = single_isa_size(code)
+    return SizeBreakdown(
+        application=code.application,
+        x86_fpga=single + xclbin.size_bytes,
+        popcorn=multi_isa,
+        xar_trek=multi_isa + xclbin.size_bytes,
+    )

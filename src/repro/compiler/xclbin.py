@@ -1,0 +1,111 @@
+"""Step F — XCLBIN generation.
+
+Implements each partition plan as a configuration image: the static
+hardware platform (shell) plus the grouped hardware kernels. The
+resulting :class:`XCLBIN` satisfies the FPGA device model's
+``ConfigImage`` protocol and carries per-kernel latency info the XRT
+layer uses at run-time.
+
+Space-sharing extension (paper Section 7): ``replicate=True`` fills the
+device's leftover area with extra compute units for the slowest
+kernels, so concurrent tenants' invocations of the same function run in
+parallel instead of queueing on a single CU (cf. the multi-tenant
+key-value store of [28]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.partition import XCLBINPlan
+from repro.compiler.xo import XilinxObject
+from repro.hardware.fpga import FPGAResources, FPGASpec
+
+__all__ = ["XCLBIN", "generate_xclbin", "MAX_COMPUTE_UNITS"]
+
+#: Size model: shell/platform bytes plus bitstream bytes per used LUT.
+_SHELL_BYTES = 1_800_000
+_BYTES_PER_LUT = 8
+
+#: Replication cap per kernel (control/interconnect limits).
+MAX_COMPUTE_UNITS = 4
+
+
+@dataclass(frozen=True)
+class XCLBIN:
+    """A generated configuration image (implements ``ConfigImage``)."""
+
+    name: str
+    kernels: dict[str, XilinxObject]
+    device_name: str
+    #: Compute units per kernel (>= 1); absent kernels default to 1.
+    cu_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return tuple(self.kernels)
+
+    def compute_units(self, kernel_name: str) -> int:
+        return self.cu_counts.get(kernel_name, 1)
+
+    @property
+    def resources(self) -> FPGAResources:
+        total = FPGAResources()
+        for name, obj in self.kernels.items():
+            for _ in range(self.compute_units(name)):
+                total = total + obj.resources
+        return total
+
+    @property
+    def size_bytes(self) -> int:
+        return _SHELL_BYTES + _BYTES_PER_LUT * self.resources.lut
+
+    def kernel(self, kernel_name: str) -> XilinxObject:
+        try:
+            return self.kernels[kernel_name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} holds {list(self.kernels)}, not {kernel_name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"XCLBIN({self.name!r}, kernels={list(self.kernels)})"
+
+
+def generate_xclbin(
+    plan: XCLBINPlan, device: FPGASpec, replicate: bool = False
+) -> XCLBIN:
+    """Implement one partition plan on ``device``.
+
+    With ``replicate`` the generator greedily adds compute units —
+    slowest kernel first (it gains the most from parallelism) — until
+    the usable area is exhausted or every kernel holds
+    :data:`MAX_COMPUTE_UNITS`.
+    """
+    if not plan.fits(device):
+        raise ValueError(f"plan {plan.name!r} does not fit {device.name}")
+    cu_counts = {obj.kernel_name: 1 for obj in plan.objects}
+    if replicate:
+        budget = device.usable_resources
+        used = plan.resources
+        # Slowest kernels first; deterministic tie-break by name.
+        order = sorted(
+            plan.objects, key=lambda o: (-o.kernel_latency_s, o.kernel_name)
+        )
+        progress = True
+        while progress:
+            progress = False
+            for obj in order:
+                if cu_counts[obj.kernel_name] >= MAX_COMPUTE_UNITS:
+                    continue
+                trial = used + obj.resources
+                if trial.fits_in(budget):
+                    used = trial
+                    cu_counts[obj.kernel_name] += 1
+                    progress = True
+    return XCLBIN(
+        name=plan.name,
+        kernels={obj.kernel_name: obj for obj in plan.objects},
+        device_name=device.name,
+        cu_counts=cu_counts,
+    )

@@ -1,0 +1,65 @@
+"""Step D — Xilinx Object (XO) generation.
+
+For each selected function, the pipeline moves it to its own compilation
+unit and invokes the HLS compiler, producing one XO file per function:
+the synthesized kernel plus its resource report. The XO's resource
+vector is what step E's partitioner packs into XCLBINs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.hls import HLSReport, KernelIR, estimate, kernel_ir_for
+from repro.compiler.profiling import SelectedFunction
+from repro.hardware.fpga import FPGAResources, FPGASpec
+
+__all__ = ["XilinxObject", "generate_xo"]
+
+#: On-disk size model for an XO: netlist bytes scale with logic area.
+_XO_BASE_BYTES = 200_000
+_XO_BYTES_PER_LUT = 18
+
+
+@dataclass(frozen=True)
+class XilinxObject:
+    """One compiled hardware kernel (a ``.xo`` file)."""
+
+    kernel_name: str
+    function_name: str
+    application: str
+    report: HLSReport
+
+    @property
+    def resources(self) -> FPGAResources:
+        return self.report.resources
+
+    @property
+    def size_bytes(self) -> int:
+        return _XO_BASE_BYTES + _XO_BYTES_PER_LUT * self.report.resources.lut
+
+    @property
+    def kernel_latency_s(self) -> float:
+        return self.report.latency_seconds
+
+
+def generate_xo(
+    application: str,
+    function: SelectedFunction,
+    device: FPGASpec,
+    ir: KernelIR | None = None,
+) -> XilinxObject:
+    """Synthesize one selected function into an XO.
+
+    ``ir`` overrides the registry lookup (useful for custom kernels);
+    by default the kernel's IR comes from :func:`kernel_ir_for`.
+    """
+    if ir is None:
+        ir = kernel_ir_for(function.kernel_name)
+    report = estimate(ir, device)
+    return XilinxObject(
+        kernel_name=function.kernel_name,
+        function_name=function.name,
+        application=application,
+        report=report,
+    )

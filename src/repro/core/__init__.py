@@ -1,0 +1,39 @@
+"""Xar-Trek's core: scheduling policy, dynamic thresholds, and run-time.
+
+The paper's primary contribution: Algorithm 1 (:mod:`client`),
+Algorithm 2 (:mod:`policy`), the scheduler server (:mod:`server`), the
+instrumented-application model (:mod:`application`), and the deployed
+runtime facade (:mod:`runtime`).
+"""
+
+from repro.core.application import ApplicationRun, RunRecord, SystemMode
+from repro.core.client import ThresholdUpdater, UpdateOutcome
+from repro.core.policies import (
+    PolicyFn,
+    cost_model_policy,
+    energy_aware_policy,
+    marginal_run_energy,
+)
+from repro.core.policy import Decision, decide
+from repro.core.runtime import BackgroundLoad, XarTrekRuntime, build_system, spec_for
+from repro.core.server import SchedulerServer, ServerStats
+
+__all__ = [
+    "ApplicationRun",
+    "BackgroundLoad",
+    "Decision",
+    "PolicyFn",
+    "RunRecord",
+    "cost_model_policy",
+    "energy_aware_policy",
+    "marginal_run_energy",
+    "SchedulerServer",
+    "ServerStats",
+    "SystemMode",
+    "ThresholdUpdater",
+    "UpdateOutcome",
+    "XarTrekRuntime",
+    "build_system",
+    "decide",
+    "spec_for",
+]

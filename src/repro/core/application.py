@@ -1,0 +1,303 @@
+"""The instrumented application as a simulation process.
+
+One :class:`ApplicationRun` reproduces the run-time behaviour of one
+compiled application instance under one of four systems:
+
+* ``VANILLA_X86`` — everything on the x86 host (the paper's "Vanilla
+  Linux/x86" baseline);
+* ``VANILLA_ARM`` — everything on the ARM server ("Vanilla Linux/ARM");
+* ``ALWAYS_FPGA`` — host code on x86, the selected function always on
+  the FPGA, configuring the card synchronously at first use (the
+  traditional hardware-acceleration flow, "FPGA" baseline);
+* ``XAR_TREK`` — the full system: early FPGA configuration at startup,
+  per-call scheduling via the server (Algorithm 2), Popcorn migration
+  to ARM or XRT execution on the FPGA, and the client's dynamic
+  threshold update (Algorithm 1) at termination.
+
+The run optionally executes the *functional* workload once and verifies
+the result — demonstrating that migration is transparent: the kernel's
+output does not depend on where it ran.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.pipeline import CompiledApplication
+from repro.popcorn.migration_points import CType
+from repro.popcorn.runtime import PopcornRuntime, PopcornThread
+from repro.popcorn.state import MachineState, StateTransformer
+from repro.sim import Event
+from repro.types import Target
+from repro.workloads import create_workload
+from repro.xrt import XRTError
+
+__all__ = ["SystemMode", "RunRecord", "ApplicationRun"]
+
+#: Heap base for a migrating thread's dirty working set.
+_WORKING_SET_BASE = 0x2000_0000
+_PAGE = 4096
+
+
+class SystemMode(enum.Enum):
+    """Which system executes the application."""
+
+    VANILLA_X86 = "vanilla-x86"
+    VANILLA_ARM = "vanilla-arm"
+    ALWAYS_FPGA = "always-fpga"
+    XAR_TREK = "xar-trek"
+
+
+@dataclass
+class RunRecord:
+    """Everything observed about one application run."""
+
+    app: str
+    mode: SystemMode
+    seed: int
+    start_s: float
+    end_s: float = math.nan
+    calls_completed: int = 0
+    targets: list[Target] = field(default_factory=list)
+    migrations: int = 0
+    fpga_fallbacks: int = 0
+    verified: Optional[bool] = None
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def finished(self) -> bool:
+        return not math.isnan(self.end_s)
+
+    def dominant_target(self) -> Target:
+        """The target that served the most calls (x86 if none)."""
+        if not self.targets:
+            return Target.X86
+        counts: dict[Target, int] = {}
+        for target in self.targets:
+            counts[target] = counts.get(target, 0) + 1
+        return max(counts, key=lambda t: (counts[t], -int(t)))
+
+
+class ApplicationRun:
+    """One application instance inside the simulated datacenter."""
+
+    def __init__(
+        self,
+        runtime,  # XarTrekRuntime; untyped to avoid a circular import
+        app: CompiledApplication,
+        seed: int = 0,
+        mode: SystemMode = SystemMode.XAR_TREK,
+        deadline_s: Optional[float] = None,
+        functional: bool = False,
+        calls: Optional[int] = None,
+    ):
+        self.runtime = runtime
+        self.app = app
+        self.profile = app.profile if calls is None else app.profile.with_calls(calls)
+        self.seed = seed
+        self.mode = mode
+        self.deadline_s = deadline_s
+        self.functional = functional
+        self.record = RunRecord(
+            app=app.name, mode=mode, seed=seed, start_s=math.nan
+        )
+        self._thread: Optional[PopcornThread] = None
+
+    # -- public API ------------------------------------------------------------
+    def start(self) -> Event:
+        """Launch now; the returned event fires with the final RunRecord."""
+        return self.runtime.platform.sim.spawn(self._body())
+
+    # -- the instrumented main() -------------------------------------------------
+    def _body(self):
+        platform = self.runtime.platform
+        profile = self.profile
+        self.record.start_s = platform.now
+
+        if self.functional:
+            self._run_functional()
+
+        # Inserted call: scheduler registration + early FPGA configure.
+        if (
+            self.mode is SystemMode.XAR_TREK
+            and self.runtime.server is not None
+            and getattr(self.runtime, "early_configure", True)
+        ):
+            self.runtime.server.preconfigure(self.app.name)
+
+        if self.mode is SystemMode.VANILLA_ARM:
+            yield from self._run_all_on_arm()
+        else:
+            yield from self._run_with_x86_host()
+
+        self.record.end_s = platform.now
+        if (
+            self.mode is SystemMode.XAR_TREK
+            and self.deadline_s is None
+            and self.runtime.updater is not None
+        ):
+            # Inserted call: Algorithm 1, "immediately before the
+            # application terminates".
+            entry = self.runtime.server.thresholds.entry(self.app.name)
+            self.runtime.updater.update(
+                entry,
+                self.record.dominant_target(),
+                self.record.elapsed_s,
+                platform.x86_load,
+            )
+        self.runtime._finish(self.record)
+        return self.record
+
+    def _run_functional(self) -> None:
+        """Execute the real computation once and verify the result."""
+        workload = create_workload(self.app.name)
+        inp = workload.generate_input(self.seed)
+        output = workload.run_kernel(inp)
+        self.record.verified = workload.verify(inp, output)
+
+    def _deadline_passed(self) -> bool:
+        if self.deadline_s is None:
+            return False
+        return (
+            self.runtime.platform.now - self.record.start_s >= self.deadline_s
+        )
+
+    def _run_all_on_arm(self):
+        """Vanilla Linux/ARM: the whole process on one ARM core."""
+        arm = self.runtime.platform.arm.cpu
+        slowdown = self.profile.arm_core_slowdown
+        yield arm.execute(self.profile.host_work_s * slowdown, tag=self.app.name)
+        for _call in range(self.profile.calls_per_run):
+            if self._deadline_passed():
+                break
+            call_cost = (
+                self.profile.per_call_host_s + self.profile.func_x86_s
+            ) * slowdown
+            yield arm.execute(call_cost, tag=self.app.name)
+            self.record.targets.append(Target.ARM)
+            self.record.calls_completed += 1
+
+    def _run_with_x86_host(self):
+        """x86-hosted modes: host work, then the per-call dispatch loop."""
+        x86 = self.runtime.platform.x86.cpu
+        profile = self.profile
+        yield x86.execute(profile.host_work_s, tag=self.app.name)
+        for _call in range(profile.calls_per_run):
+            if self._deadline_passed():
+                break
+            if profile.per_call_host_s > 0:
+                yield x86.execute(profile.per_call_host_s, tag=self.app.name)
+            target = yield from self._choose_target()
+            yield from self._execute_function(target)
+            self.record.calls_completed += 1
+
+    def _choose_target(self):
+        if self.mode is SystemMode.VANILLA_X86:
+            return Target.X86
+        if self.mode is SystemMode.ALWAYS_FPGA:
+            return Target.FPGA if self.profile.fpga_capable else Target.X86
+        assert self.mode is SystemMode.XAR_TREK
+        target = yield self.runtime.server.request(self.app.name)
+        return target
+
+    # -- function execution per target -----------------------------------------
+    def _execute_function(self, target: Target):
+        if target is Target.FPGA:
+            yield from self._execute_fpga()
+        elif target is Target.ARM:
+            yield from self._execute_arm_migrated()
+        else:
+            yield self.runtime.platform.x86.cpu.execute(
+                self.profile.func_x86_s, tag=self.app.name
+            )
+            self.record.targets.append(Target.X86)
+
+    def _execute_fpga(self):
+        xrt = self.runtime.xrt
+        kernel = self.profile.kernel_name
+        if not xrt.has_kernel(kernel):
+            if self.mode is SystemMode.ALWAYS_FPGA and not xrt.reconfiguring:
+                # Traditional flow: configure synchronously at first use.
+                image = self.runtime.image_for(kernel)
+                yield xrt.load_xclbin(image)
+            elif xrt.reconfiguring:
+                # Wait out an in-flight reconfiguration and retry.
+                while xrt.reconfiguring:
+                    yield self.runtime.platform.sim.timeout(0.01)
+            if not xrt.has_kernel(kernel):
+                # Kernel still absent (scheduler race): run on x86.
+                self.record.fpga_fallbacks += 1
+                yield self.runtime.platform.x86.cpu.execute(
+                    self.profile.func_x86_s, tag=self.app.name
+                )
+                self.record.targets.append(Target.X86)
+                return
+        try:
+            yield xrt.run_kernel(
+                kernel,
+                bytes_in=self.profile.bytes_to_fpga,
+                bytes_out=self.profile.bytes_from_fpga,
+                duration=self.profile.fpga_kernel_s,
+            )
+        except XRTError:
+            self.record.fpga_fallbacks += 1
+            yield self.runtime.platform.x86.cpu.execute(
+                self.profile.func_x86_s, tag=self.app.name
+            )
+            self.record.targets.append(Target.X86)
+            return
+        self.record.targets.append(Target.FPGA)
+
+    def _execute_arm_migrated(self):
+        """Software migration: Popcorn there, run the function, Popcorn back."""
+        popcorn = self.runtime.popcorn_for(self.app.name)
+        thread = self._ensure_thread(popcorn)
+        self._mark_working_set(thread)
+        yield popcorn.migrate(thread, Target.ARM)
+        self.record.migrations += 1
+        yield self.runtime.platform.arm.cpu.execute(
+            self.profile.func_arm_s, tag=self.app.name
+        )
+        self._mark_working_set(thread)  # results dirtied on the ARM side
+        yield popcorn.migrate(thread, Target.X86)
+        self.record.migrations += 1
+        self.record.targets.append(Target.ARM)
+
+    # -- migration state plumbing -------------------------------------------------
+    def _ensure_thread(self, popcorn: PopcornRuntime) -> PopcornThread:
+        if self._thread is not None:
+            return self._thread
+        metadata = self.app.compiled.metadata
+        transformer = StateTransformer(metadata)
+        function = self.app.instrumented.selected_functions[0]
+        frames = []
+        for fn in ("main", function):
+            point = metadata.points_in(fn)[0]
+            values = {
+                var.name: (float(i) if CType.is_float(var.ctype) else i)
+                for i, var in enumerate(point.live_vars)
+            }
+            frames.append(
+                transformer.build_frame(fn, point, values, "x86_64", 0x400100)
+            )
+        state = MachineState(isa="x86_64", frames=frames)
+        self._thread = popcorn.spawn_thread(
+            self.app.compiled.binary, state, Target.X86
+        )
+        if popcorn.dsm is not None:
+            popcorn.dsm.seed_pages(str(Target.X86), self._working_set_addrs(state))
+        return self._thread
+
+    def _working_set_addrs(self, state: MachineState) -> list[int]:
+        payload = max(0, self.profile.migration_state_bytes - state.size_bytes())
+        n_pages = payload // _PAGE
+        return [_WORKING_SET_BASE + i * _PAGE for i in range(n_pages)]
+
+    def _mark_working_set(self, thread: PopcornThread) -> None:
+        thread.dirty_addresses = self._working_set_addrs(thread.state)

@@ -1,0 +1,142 @@
+"""Alternative scheduling policies (paper Sections 5 and 7).
+
+The paper's heuristic (Algorithm 2, :func:`repro.core.policy.decide`)
+compares the observed load against two static-then-refined thresholds.
+Two natural alternatives it hints at:
+
+* :func:`cost_model_policy` — predict each target's end-to-end time
+  under the *current* load with the processor-sharing relation and the
+  calibrated profiles, and take the argmin. An informed upper bound on
+  what threshold scheduling can achieve (the ablation bench compares).
+* :func:`energy_aware_policy` — pick the target minimizing the
+  energy-delay product (EDP, the metric the paper cites for its
+  power-aware extension), trading some performance for joules.
+
+Both return the same :class:`~repro.core.policy.Decision` type and plug
+into :class:`~repro.core.server.SchedulerServer` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.policy import Decision
+from repro.hardware.power import PowerModel
+from repro.thresholds import ThresholdEntry
+from repro.types import Target
+from repro.workloads.perfmodel import WorkloadProfile
+
+__all__ = [
+    "PolicyFn",
+    "cost_model_policy",
+    "energy_aware_policy",
+    "marginal_run_energy",
+]
+
+
+def marginal_run_energy(
+    profile: WorkloadProfile,
+    target: Target,
+    power: PowerModel | None = None,
+    calls: int = 1,
+) -> float:
+    """Joules attributable to one application run placed on ``target``.
+
+    Host work always burns x86 watts; the function portion burns the
+    target's. This is the *marginal* energy (background/idle excluded),
+    the quantity the energy-aware policy minimizes and the fair way to
+    compare placements without conflating experiment window lengths.
+    """
+    power = power or PowerModel()
+    host_j = power.x86.active_w_per_unit * (
+        profile.host_work_s + calls * profile.per_call_host_s
+    )
+    if target is Target.X86:
+        func_j = power.x86.active_w_per_unit * profile.func_x86_s
+    elif target is Target.ARM:
+        func_j = power.arm.active_w_per_unit * profile.func_arm_s
+    else:
+        func_j = power.fpga.active_w_per_unit * profile.fpga_kernel_s
+    return host_j + calls * func_j
+
+#: The policy contract: (x86 load, table entry, kernel resident?) -> Decision.
+PolicyFn = Callable[[float, ThresholdEntry, bool], Decision]
+
+
+def _predicted_times(
+    profile: WorkloadProfile, x86_load: float, cores: int
+) -> dict[Target, float]:
+    """Per-target end-to-end predictions under the current x86 load.
+
+    The host portion always runs on x86 and dilates with its load; the
+    function portion runs on the chosen target (ARM and the FPGA are
+    treated as uncontended, which is exact when migrations are the only
+    off-host work — the model's documented assumption).
+    """
+    dilation = max(1.0, x86_load / cores)
+    host = profile.host_work_s * dilation + profile.per_call_host_s * dilation
+    times = {Target.X86: host + profile.func_x86_s * dilation}
+    if profile.arm_capable:
+        times[Target.ARM] = host + profile.arm_call_s()
+    if profile.fpga_capable:
+        times[Target.FPGA] = host + profile.fpga_call_s()
+    return times
+
+
+def cost_model_policy(
+    profiles: Mapping[str, WorkloadProfile], cores: int = 6
+) -> PolicyFn:
+    """A policy that minimizes predicted execution time."""
+
+    def policy(
+        x86_load: float, entry: ThresholdEntry, kernel_available: bool
+    ) -> Decision:
+        profile = profiles[entry.application]
+        times = _predicted_times(profile, x86_load, cores)
+        if not kernel_available:
+            fpga_time = times.pop(Target.FPGA, None)
+        else:
+            fpga_time = None
+        best = min(times, key=times.get)
+        # If the (absent) FPGA would have won, reconfigure for next time
+        # while executing on the best available target now — the same
+        # latency-hiding move as Algorithm 2 lines 9-18.
+        wants_fpga = (
+            fpga_time is not None
+            and bool(entry.kernel_name)
+            and fpga_time < times[best]
+        )
+        return Decision(best, reconfigure=wants_fpga, rule=f"cost-model:{best}")
+
+    return policy
+
+
+def energy_aware_policy(
+    profiles: Mapping[str, WorkloadProfile],
+    power: PowerModel | None = None,
+    cores: int = 6,
+    delay_exponent: float = 1.0,
+) -> PolicyFn:
+    """A policy that minimizes energy-delay product.
+
+    ``delay_exponent`` generalizes EDP: 0 = pure energy, 1 = classic
+    EDP, 2 = ED^2P (performance-leaning).
+    """
+    power = power or PowerModel()
+
+    def policy(
+        x86_load: float, entry: ThresholdEntry, kernel_available: bool
+    ) -> Decision:
+        profile = profiles[entry.application]
+        times = _predicted_times(profile, x86_load, cores)
+        if not kernel_available:
+            times.pop(Target.FPGA, None)
+        scores = {
+            target: marginal_run_energy(profile, target, power)
+            * (time_s**delay_exponent)
+            for target, time_s in times.items()
+        }
+        best = min(scores, key=scores.get)
+        return Decision(best, reconfigure=False, rule=f"edp:{best}")
+
+    return policy

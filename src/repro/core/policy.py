@@ -1,0 +1,70 @@
+"""Algorithm 2 — Xar-Trek's scheduling policy, as a pure function.
+
+The policy reads the x86 CPU load, the application's two thresholds,
+and whether the application's hardware kernel is currently present on
+the FPGA, and returns (a) the execution target and (b) whether the
+server should start reconfiguring the FPGA in the background.
+
+The five cases of the paper's pseudocode (lines 9-31) are mutually
+exclusive and complete; tests enumerate the full condition space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.thresholds import ThresholdEntry
+from repro.types import Target
+
+__all__ = ["Decision", "decide"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The policy's output for one scheduling request."""
+
+    target: Target
+    #: Start loading the application's XCLBIN in the background while
+    #: the function runs on a CPU (hides the reconfiguration latency —
+    #: Algorithm 2 lines 11-12 and 16-17).
+    reconfigure: bool
+    #: Which case of Algorithm 2 fired (for traces and tests).
+    rule: str
+
+
+def decide(
+    x86_load: float, entry: ThresholdEntry, kernel_available: bool
+) -> Decision:
+    """One scheduling decision per Algorithm 2.
+
+    ``x86_load`` is the number of processes on the x86 host;
+    ``kernel_available`` reports whether ``entry``'s hardware kernel is
+    currently loaded and callable on the FPGA.
+    """
+    fpga_thr = entry.fpga_threshold
+    arm_thr = entry.arm_threshold
+    has_kernel = bool(entry.kernel_name)
+
+    # Lines 9-13: hot enough for the FPGA but the kernel is absent:
+    # keep the function on x86 and reconfigure in the background.
+    if x86_load <= arm_thr and x86_load > fpga_thr and not kernel_available:
+        return Decision(Target.X86, reconfigure=has_kernel, rule="x86+reconfig")
+
+    # Lines 14-18: hot enough for both; ARM while the FPGA loads.
+    if x86_load > arm_thr and x86_load > fpga_thr and not kernel_available:
+        return Decision(Target.ARM, reconfigure=has_kernel, rule="arm+reconfig")
+
+    # Lines 19-21: cool host: stay.
+    if x86_load <= arm_thr and x86_load <= fpga_thr:
+        return Decision(Target.X86, reconfigure=False, rule="x86")
+
+    # Lines 22-24: hot for ARM only.
+    if x86_load > arm_thr and x86_load <= fpga_thr:
+        return Decision(Target.ARM, reconfigure=False, rule="arm")
+
+    # Lines 25-31: hot for the FPGA and the kernel is resident; the
+    # smaller threshold implies the faster target for this function.
+    assert x86_load > fpga_thr and kernel_available
+    if fpga_thr < arm_thr:
+        return Decision(Target.FPGA, reconfigure=False, rule="fpga")
+    return Decision(Target.ARM, reconfigure=False, rule="arm-over-fpga")

@@ -1,0 +1,175 @@
+"""The scheduler server (Section 3.2, Algorithm 2).
+
+Runs on the x86 host as a userspace daemon. Clients connect over a
+socket; each request names an application, and the reply carries the
+migration flag (0 = x86, 1 = ARM, 2 = FPGA). The server reads the
+threshold table, samples the x86 CPU load, queries the FPGA's resident
+kernels, decides per Algorithm 2, and — when the decision calls for
+it — kicks off an FPGA reconfiguration in the background so the
+transfer/programming latency hides behind CPU execution.
+
+In the simulation the socket is a :class:`~repro.sim.Store` plus a
+round-trip latency; the request/decide/reply path consumes simulated
+time exactly like the real client/server pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.policy import Decision, decide
+from repro.hardware.platform import HeterogeneousPlatform
+from repro.sim import Event, Store, Tracer
+from repro.thresholds import ThresholdTable
+from repro.types import Target
+from repro.xrt import XRTDevice
+
+__all__ = ["SchedulerServer", "ServerStats"]
+
+#: One-way userspace socket latency on the host (localhost TCP).
+DEFAULT_SOCKET_LATENCY_S = 50e-6
+
+
+@dataclass
+class ServerStats:
+    """Decision counters, by target and by Algorithm 2 rule."""
+
+    requests: int = 0
+    by_target: dict[Target, int] = field(default_factory=dict)
+    by_rule: dict[str, int] = field(default_factory=dict)
+    reconfigurations_started: int = 0
+    reconfigurations_skipped: int = 0
+    reconfigurations_failed: int = 0
+
+
+class SchedulerServer:
+    """The policy daemon: owns the threshold table and the FPGA images."""
+
+    def __init__(
+        self,
+        platform: HeterogeneousPlatform,
+        xrt: XRTDevice,
+        thresholds: ThresholdTable,
+        kernel_images: dict[str, object],
+        socket_latency_s: float = DEFAULT_SOCKET_LATENCY_S,
+        tracer: Optional[Tracer] = None,
+        policy=None,
+    ):
+        """``kernel_images`` maps hardware-kernel name -> XCLBIN image.
+
+        ``policy`` swaps the decision function (default: the paper's
+        Algorithm 2, :func:`repro.core.policy.decide`); see
+        :mod:`repro.core.policies` for alternatives.
+        """
+        self.platform = platform
+        self.xrt = xrt
+        self.thresholds = thresholds
+        self.policy = policy or decide
+        self.kernel_images = dict(kernel_images)
+        self.socket_latency_s = socket_latency_s
+        self.tracer = tracer or platform.tracer
+        self.stats = ServerStats()
+        self._requests: Store = Store(platform.sim)
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Algorithm 2 lines 1-3: init kernel info, socket, load timer."""
+        if self._running:
+            return
+        self._running = True
+        self.platform.sim.spawn(self._serve())
+
+    def _serve(self):
+        # Algorithm 2's main loop (lines 4-33).
+        while True:
+            app_name, reply = yield self._requests.get()
+            # Request crosses the socket; decide; reply crosses back.
+            yield self.platform.sim.timeout(self.socket_latency_s)
+            decision = self._decide(app_name)
+            yield self.platform.sim.timeout(self.socket_latency_s)
+            reply.succeed(decision.target)
+
+    # -- client API ------------------------------------------------------------
+    def request(self, app_name: str) -> Event:
+        """Client-side call: fires with the chosen :class:`Target`."""
+        if not self._running:
+            raise RuntimeError("scheduler server not started")
+        reply = self.platform.sim.event()
+        self._requests.put((app_name, reply))
+        return reply
+
+    def preconfigure(self, app_name: str) -> None:
+        """The instrumented main()'s early FPGA-configuration call.
+
+        Requests the application's image non-blockingly at startup so
+        the kernel is warm before its first invocation (Section 3.1;
+        load-bearing for Figure 6's throughput win over always-FPGA).
+        """
+        entry = self.thresholds.entry(app_name)
+        if entry.kernel_name:
+            self._maybe_reconfigure(entry.kernel_name)
+
+    # -- internals ---------------------------------------------------------------
+    def _decide(self, app_name: str) -> Decision:
+        entry = self.thresholds.entry(app_name)
+        # The requesting process is itself runnable on the host while it
+        # executes the scheduler-client call, so it counts toward the
+        # x86 CPU load even though it holds no compute job right now.
+        load = self.platform.x86_load + 1
+        available = bool(entry.kernel_name) and self.xrt.has_kernel(entry.kernel_name)
+        decision = self.policy(load, entry, available)
+        self.stats.requests += 1
+        self.stats.by_target[decision.target] = (
+            self.stats.by_target.get(decision.target, 0) + 1
+        )
+        self.stats.by_rule[decision.rule] = self.stats.by_rule.get(decision.rule, 0) + 1
+        self.tracer.record(
+            "scheduler",
+            f"{app_name}: load={load} -> {decision.target} ({decision.rule})",
+            app=app_name,
+            load=load,
+            target=str(decision.target),
+            rule=decision.rule,
+        )
+        if decision.reconfigure:
+            self._maybe_reconfigure(entry.kernel_name)
+        return decision
+
+    def _maybe_reconfigure(self, kernel_name: str) -> None:
+        """Start loading the image that hosts ``kernel_name``, if possible.
+
+        Skipped when the kernel is already resident, a reconfiguration
+        is in flight, or kernels are mid-run (swapping under a running
+        kernel is impossible); the next request retries.
+        """
+        if self.xrt.has_kernel(kernel_name):
+            return
+        image = self.kernel_images.get(kernel_name)
+        if image is None:
+            return
+        if self.xrt.reconfiguring or self.xrt.active_runs:
+            self.stats.reconfigurations_skipped += 1
+            return
+        self.stats.reconfigurations_started += 1
+        self.tracer.record(
+            "scheduler",
+            f"reconfiguring FPGA with {image.name} for {kernel_name}",
+            image=image.name,
+            kernel=kernel_name,
+        )
+        done = self.xrt.load_xclbin(image)
+        done.defused = True  # a programming failure must not crash the run
+
+        def on_outcome(event) -> None:
+            if not event.ok:
+                self.stats.reconfigurations_failed += 1
+                self.tracer.record(
+                    "scheduler",
+                    f"reconfiguration with {image.name} failed; will retry "
+                    "on the next request",
+                    image=image.name,
+                )
+
+        done.callbacks.append(on_outcome)

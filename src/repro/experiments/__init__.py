@@ -1,0 +1,81 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments.binaries import figure10_binary_sizes
+from repro.experiments.fixed_workload import (
+    figure3_low_load,
+    figure4_medium_load,
+    figure5_high_load,
+    fixed_workload_sweep,
+    gains_over,
+)
+from repro.experiments.harness import (
+    MODE_LABELS,
+    SetOutcome,
+    average_execution_time,
+    run_application_set,
+    sample_application_set,
+)
+from repro.experiments.loads import LoadClass, classify_load, table3_load_classes
+from repro.experiments.periodic import (
+    WaveLoad,
+    figure7_periodic_execution,
+    figure8_periodic_throughput,
+    run_periodic_execution,
+    run_periodic_throughput,
+)
+from repro.experiments.profitability import figure9_profitability, profitability_point
+from repro.experiments.report import ExperimentResult, format_table, percent_gain
+from repro.experiments.sensitivity import (
+    arm_capacity_sensitivity,
+    background_duty_sensitivity,
+    interconnect_sensitivity,
+    reconfig_time_sensitivity,
+)
+from repro.experiments.tables import (
+    measure_scenario,
+    table1_execution_times,
+    table2_thresholds,
+    table4_bfs,
+)
+from repro.experiments.throughput import figure6_throughput, measure_throughput
+from repro.experiments.timeline import Timeline, TimelineEvent, extract_timeline
+
+__all__ = [
+    "ExperimentResult",
+    "LoadClass",
+    "MODE_LABELS",
+    "SetOutcome",
+    "Timeline",
+    "TimelineEvent",
+    "WaveLoad",
+    "extract_timeline",
+    "arm_capacity_sensitivity",
+    "average_execution_time",
+    "background_duty_sensitivity",
+    "classify_load",
+    "interconnect_sensitivity",
+    "reconfig_time_sensitivity",
+    "figure10_binary_sizes",
+    "figure3_low_load",
+    "figure4_medium_load",
+    "figure5_high_load",
+    "figure6_throughput",
+    "figure7_periodic_execution",
+    "figure8_periodic_throughput",
+    "figure9_profitability",
+    "fixed_workload_sweep",
+    "format_table",
+    "gains_over",
+    "measure_scenario",
+    "measure_throughput",
+    "percent_gain",
+    "profitability_point",
+    "run_application_set",
+    "run_periodic_execution",
+    "run_periodic_throughput",
+    "sample_application_set",
+    "table1_execution_times",
+    "table2_thresholds",
+    "table3_load_classes",
+    "table4_bfs",
+]

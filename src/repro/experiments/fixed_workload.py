@@ -1,0 +1,119 @@
+"""Figures 3-5: average execution time of randomized application sets.
+
+* Figure 3 (low load): sets of 1-5 applications, no background — fewer
+  processes than x86 cores. Four systems including Vanilla Linux/ARM.
+* Figure 4 (medium load): sets of 5-25 applications with MG-B
+  background topping the process count up to 60 (more than the 6 x86
+  cores, fewer than the 102 total cores).
+* Figure 5 (high load): same sets, topped up to 120 processes (more
+  than all cores).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import SystemMode
+from repro.experiments.harness import (
+    MODE_LABELS,
+    average_execution_time,
+    sample_application_set,
+)
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["figure3_low_load", "figure4_medium_load", "figure5_high_load", "fixed_workload_sweep"]
+
+_LOW_MODES = (
+    SystemMode.VANILLA_X86,
+    SystemMode.VANILLA_ARM,
+    SystemMode.ALWAYS_FPGA,
+    SystemMode.XAR_TREK,
+)
+_LOADED_MODES = (
+    SystemMode.VANILLA_X86,
+    SystemMode.ALWAYS_FPGA,
+    SystemMode.XAR_TREK,
+)
+
+
+def fixed_workload_sweep(
+    name: str,
+    set_sizes: Sequence[int],
+    total_processes: int | None,
+    modes: Sequence[SystemMode],
+    repeats: int = 10,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The common engine behind Figures 3-5.
+
+    ``total_processes`` is the target process count (set + MG-B
+    background); ``None`` means no background (Figure 3).
+    """
+    headers = ["set_size"]
+    for mode in modes:
+        headers += [f"{MODE_LABELS[mode]} (ms)", "std"]
+    result = ExperimentResult(name=name, headers=headers)
+    for size in set_sizes:
+        background = 0
+        if total_processes is not None:
+            background = max(0, total_processes - size)
+        row: list = [size]
+        for mode in modes:
+            mean_s, std_s = average_execution_time(
+                size, mode, background=background, repeats=repeats, seed=seed
+            )
+            row += [mean_s * 1e3, std_s * 1e3]
+        result.rows.append(row)
+    return result
+
+
+def figure3_low_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
+    """Figure 3: 1-5 applications, fewer processes than x86 cores."""
+    result = fixed_workload_sweep(
+        "Figure 3: average execution time, low load (< #x86 cores)",
+        set_sizes=(1, 2, 3, 4, 5),
+        total_processes=None,
+        modes=_LOW_MODES,
+        repeats=repeats,
+        seed=seed,
+    )
+    result.notes = (
+        "Paper: Xar-Trek ~= Vanilla/x86 (it rarely migrates at low load); "
+        "both beat always-FPGA by 50-75%; Vanilla/ARM always slowest."
+    )
+    return result
+
+
+def figure4_medium_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
+    """Figure 4: 60 total processes (between #x86 and total cores)."""
+    result = fixed_workload_sweep(
+        "Figure 4: average execution time, medium load (60 processes)",
+        set_sizes=(5, 10, 15, 20, 25),
+        total_processes=60,
+        modes=_LOADED_MODES,
+        repeats=repeats,
+        seed=seed,
+    )
+    result.notes = "Paper: Xar-Trek gains 88%-1% over Vanilla/x86."
+    return result
+
+
+def figure5_high_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
+    """Figure 5: 120 total processes (more than all 102 cores)."""
+    result = fixed_workload_sweep(
+        "Figure 5: average execution time, high load (120 processes)",
+        set_sizes=(5, 10, 15, 20, 25),
+        total_processes=120,
+        modes=_LOADED_MODES,
+        repeats=repeats,
+        seed=seed,
+    )
+    result.notes = "Paper: Xar-Trek gains 31%-19% over Vanilla/x86."
+    return result
+
+
+def gains_over(result: ExperimentResult, baseline_label: str, improved_label: str) -> list[float]:
+    """Per-row percentage gains of one system over another."""
+    base = result.column(f"{baseline_label} (ms)")
+    better = result.column(f"{improved_label} (ms)")
+    return [float((b - i) / b * 100.0) for b, i in zip(base, better)]

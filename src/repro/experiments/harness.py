@@ -1,0 +1,124 @@
+"""Shared experiment machinery.
+
+The paper's evaluation repeatedly runs *application sets*: a randomly
+sampled multiset of the five benchmarks launched concurrently on a
+fresh deployment, optionally above a background of MG-B load
+generators, measured as the set's average execution time over several
+repeats. :func:`run_application_set` is that primitive;
+:func:`average_execution_time` wraps the repeat loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import SystemMode, XarTrekRuntime, build_system
+from repro.core.application import RunRecord
+from repro.workloads import PAPER_BENCHMARKS
+
+__all__ = [
+    "SetOutcome",
+    "sample_application_set",
+    "run_application_set",
+    "average_execution_time",
+    "MODE_LABELS",
+]
+
+#: The paper's bar labels for each system mode.
+MODE_LABELS: dict[SystemMode, str] = {
+    SystemMode.VANILLA_X86: "Vanilla Linux/x86",
+    SystemMode.VANILLA_ARM: "Vanilla Linux/ARM",
+    SystemMode.ALWAYS_FPGA: "FPGA",
+    SystemMode.XAR_TREK: "Xar-Trek",
+}
+
+#: Small launch stagger so the background load is established before
+#: the measured applications issue scheduling requests.
+_LAUNCH_DELAY_S = 0.05
+
+
+@dataclass
+class SetOutcome:
+    """One application set's measured run."""
+
+    mode: SystemMode
+    apps: tuple[str, ...]
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def average_s(self) -> float:
+        return float(np.mean([rec.elapsed_s for rec in self.records]))
+
+    @property
+    def max_s(self) -> float:
+        return float(np.max([rec.elapsed_s for rec in self.records]))
+
+    def target_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for rec in self.records:
+            for target in rec.targets:
+                counts[str(target)] = counts.get(str(target), 0) + 1
+        return counts
+
+
+def sample_application_set(
+    rng: np.random.Generator,
+    size: int,
+    pool: Sequence[str] = PAPER_BENCHMARKS,
+) -> tuple[str, ...]:
+    """Uniformly sample ``size`` applications (with replacement), as in
+    Section 4.1's randomized sets."""
+    return tuple(str(name) for name in rng.choice(list(pool), size=size))
+
+
+def run_application_set(
+    apps: Sequence[str],
+    mode: SystemMode,
+    background: int = 0,
+    seed: int = 0,
+    runtime: Optional[XarTrekRuntime] = None,
+) -> SetOutcome:
+    """Launch ``apps`` concurrently on a fresh deployment and wait.
+
+    ``background`` MG-B load generators run on the x86 host for the
+    duration. Every run uses its own simulator, so repeats are
+    independent and deterministic in ``seed``.
+    """
+    runtime = runtime or build_system(sorted(set(apps)), seed=seed)
+    load = runtime.launch_background(background) if background else None
+    events = [
+        runtime.launch(app, seed=seed * 1000 + i, mode=mode, delay_s=_LAUNCH_DELAY_S)
+        for i, app in enumerate(apps)
+    ]
+    records = runtime.wait_all(events)
+    if load is not None:
+        load.stop()
+    return SetOutcome(mode=mode, apps=tuple(apps), records=records)
+
+
+def average_execution_time(
+    set_size: int,
+    mode: SystemMode,
+    background: int = 0,
+    repeats: int = 10,
+    seed: int = 0,
+    pool: Sequence[str] = PAPER_BENCHMARKS,
+) -> tuple[float, float]:
+    """Mean and standard deviation over ``repeats`` random sets.
+
+    Each repeat samples a fresh application set (same sets across
+    modes for a given seed, since sampling is seed-deterministic and
+    independent of the mode).
+    """
+    rng = np.random.default_rng(seed)
+    averages = []
+    for repeat in range(repeats):
+        apps = sample_application_set(rng, set_size, pool)
+        outcome = run_application_set(
+            apps, mode, background=background, seed=seed * 100 + repeat
+        )
+        averages.append(outcome.average_s)
+    return float(np.mean(averages)), float(np.std(averages))

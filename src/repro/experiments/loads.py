@@ -1,0 +1,57 @@
+"""Table 3: the paper's CPU-load classes.
+
+Low/medium/high are defined by the ratio of application processes to
+available cores (6 x86 + 96 ARM = 102 in the testbed). Experiments use
+:func:`classify_load` to pick background sizes; the table itself is
+regenerated for the configured platform.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.hardware.platform import THUNDERX, XEON_BRONZE_3104
+
+__all__ = ["LoadClass", "classify_load", "table3_load_classes"]
+
+
+class LoadClass:
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+def classify_load(
+    n_processes: int,
+    x86_cores: int = XEON_BRONZE_3104.cores,
+    arm_cores: int = THUNDERX.cores,
+) -> str:
+    """Table 3's classification for a process count."""
+    if n_processes < 0:
+        raise ValueError(f"negative process count {n_processes}")
+    if n_processes < x86_cores:
+        return LoadClass.LOW
+    if n_processes <= x86_cores + arm_cores:
+        return LoadClass.MEDIUM
+    return LoadClass.HIGH
+
+
+def table3_load_classes(
+    x86_cores: int = XEON_BRONZE_3104.cores,
+    arm_cores: int = THUNDERX.cores,
+) -> ExperimentResult:
+    """Table 3 for the given core counts."""
+    total = x86_cores + arm_cores
+    result = ExperimentResult(
+        name="Table 3: CPU load definition",
+        headers=["CPU load", "range of number of processes"],
+        rows=[
+            [LoadClass.LOW, f"#processes < {x86_cores} (#x86 cores)"],
+            [
+                LoadClass.MEDIUM,
+                f"{x86_cores} <= #processes <= {total} (#x86 + #ARM cores)",
+            ],
+            [LoadClass.HIGH, f"#processes > {total}"],
+        ],
+        notes=f"Total cores available: {total} ({x86_cores} x86 + {arm_cores} ARM).",
+    )
+    return result

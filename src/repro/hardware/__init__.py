@@ -1,0 +1,40 @@
+"""Hardware substrate models: CPUs, FPGA, interconnects, platform."""
+
+from repro.hardware.cpu import CPUCluster, CPUSpec
+from repro.hardware.fpga import ALVEO_U50, ConfigImage, FPGADevice, FPGAResources, FPGASpec
+from repro.hardware.interconnect import ETHERNET_1GBPS, PCIE_GEN3_X16, Link, LinkSpec
+from repro.hardware.platform import (
+    THUNDERX,
+    XEON_BRONZE_3104,
+    HeterogeneousPlatform,
+    paper_testbed,
+)
+from repro.hardware.power import DevicePower, EnergyMeter, EnergyReport, PowerModel
+from repro.hardware.server import Server, ServerSpec
+from repro.hardware.sharing import FairShareServer, Job
+
+__all__ = [
+    "ALVEO_U50",
+    "CPUCluster",
+    "CPUSpec",
+    "ConfigImage",
+    "DevicePower",
+    "ETHERNET_1GBPS",
+    "EnergyMeter",
+    "EnergyReport",
+    "PowerModel",
+    "FPGADevice",
+    "FPGAResources",
+    "FPGASpec",
+    "FairShareServer",
+    "HeterogeneousPlatform",
+    "Job",
+    "Link",
+    "LinkSpec",
+    "PCIE_GEN3_X16",
+    "Server",
+    "ServerSpec",
+    "THUNDERX",
+    "XEON_BRONZE_3104",
+    "paper_testbed",
+]

@@ -1,0 +1,292 @@
+"""FPGA accelerator-card model (Xilinx Alveo U50-like).
+
+The device holds at most one configuration image (XCLBIN) at a time;
+swapping images costs a reconfiguration delay. Each loaded hardware
+kernel has one compute unit, so concurrent invocations of the same
+kernel serialize — exactly the contention an always-FPGA baseline
+suffers in the paper's multi-tenant experiments.
+
+Resource capacities (:class:`FPGAResources`) are shared with the
+compiler's partitioning step (paper step E), which bin-packs kernels
+into XCLBINs under the device's area budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.sim import Event, Resource, SimulationError, Simulator, Tracer
+
+__all__ = [
+    "FPGAResources",
+    "FPGASpec",
+    "FPGADevice",
+    "ConfigImage",
+    "ALVEO_U50",
+]
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """A resource vector: LUTs, flip-flops, BRAM36 blocks, DSPs, URAMs."""
+
+    lut: int = 0
+    ff: int = 0
+    bram: int = 0
+    dsp: int = 0
+    uram: int = 0
+
+    def __add__(self, other: "FPGAResources") -> "FPGAResources":
+        return FPGAResources(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram=self.bram + other.bram,
+            dsp=self.dsp + other.dsp,
+            uram=self.uram + other.uram,
+        )
+
+    def fits_in(self, budget: "FPGAResources") -> bool:
+        """True if this vector fits within ``budget`` on every axis."""
+        return (
+            self.lut <= budget.lut
+            and self.ff <= budget.ff
+            and self.bram <= budget.bram
+            and self.dsp <= budget.dsp
+            and self.uram <= budget.uram
+        )
+
+    def max_fraction_of(self, budget: "FPGAResources") -> float:
+        """The binding-constraint fraction of ``budget`` this vector uses."""
+        fractions = []
+        for attr in ("lut", "ff", "bram", "dsp", "uram"):
+            cap = getattr(budget, attr)
+            use = getattr(self, attr)
+            if cap > 0:
+                fractions.append(use / cap)
+            elif use > 0:
+                return float("inf")
+        return max(fractions) if fractions else 0.0
+
+    def scaled(self, factor: float) -> "FPGAResources":
+        return FPGAResources(
+            lut=int(self.lut * factor),
+            ff=int(self.ff * factor),
+            bram=int(self.bram * factor),
+            dsp=int(self.dsp * factor),
+            uram=int(self.uram * factor),
+        )
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """Static description of an FPGA accelerator card."""
+
+    name: str
+    resources: FPGAResources
+    hbm_bytes: int
+    #: Fraction of the die reserved for the static shell (host interface,
+    #: memory controllers, reconfiguration control — paper step E).
+    shell_fraction: float = 0.2
+    #: Fixed reconfiguration setup cost plus programming throughput.
+    #: Programming an Alveo-class card over PCIe takes on the order of
+    #: seconds end-to-end (driver setup + bitstream download), which is
+    #: why hiding it behind CPU execution (Algorithm 2) and configuring
+    #: at application start (Section 3.1) are load-bearing choices.
+    reconfig_base_s: float = 2.0
+    reconfig_bytes_per_s: float = 250e6
+
+    @property
+    def usable_resources(self) -> FPGAResources:
+        """Resources left for user kernels after the static shell."""
+        return self.resources.scaled(1.0 - self.shell_fraction)
+
+    def reconfig_time(self, image_bytes: float) -> float:
+        return self.reconfig_base_s + image_bytes / self.reconfig_bytes_per_s
+
+
+#: The paper's card: Xilinx Alveo U50 (Section 4), 8 GB HBM2.
+ALVEO_U50 = FPGASpec(
+    name="alveo-u50",
+    resources=FPGAResources(lut=872_000, ff=1_743_000, bram=1_344, dsp=5_952, uram=640),
+    hbm_bytes=8 * 2**30,
+)
+
+
+class ConfigImage(Protocol):
+    """What the device needs to know about an XCLBIN-like image."""
+
+    name: str
+    size_bytes: int
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]: ...  # pragma: no cover
+
+
+class FPGADevice:
+    """A reconfigurable accelerator card attached over PCIe."""
+
+    def __init__(self, sim: Simulator, spec: FPGASpec, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.spec = spec
+        self.tracer = tracer or Tracer(enabled=False)
+        self._image: Optional[ConfigImage] = None
+        self._reconfiguring = False
+        self._reconfig_done: Optional[Event] = None
+        self._compute_units: dict[str, Resource] = {}
+        self.reconfiguration_count = 0
+        self.failed_reconfigurations = 0
+        #: Accumulated kernel-occupancy seconds (for energy accounting).
+        self.busy_seconds = 0.0
+        self._fail_next_reconfigs = 0
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def configured_image(self) -> Optional[ConfigImage]:
+        return self._image
+
+    @property
+    def reconfiguring(self) -> bool:
+        return self._reconfiguring
+
+    @property
+    def available_kernels(self) -> tuple[str, ...]:
+        """Kernels callable right now (none while reconfiguring)."""
+        if self._image is None or self._reconfiguring:
+            return ()
+        return tuple(self._image.kernel_names)
+
+    def has_kernel(self, kernel_name: str) -> bool:
+        return kernel_name in self.available_kernels
+
+    # -- fault injection ---------------------------------------------------
+    def inject_reconfig_failures(self, count: int = 1) -> None:
+        """Make the next ``count`` reconfigurations fail after their
+        programming delay (driver/bitstream errors happen in practice;
+        the scheduler must retry, not wedge)."""
+        if count < 0:
+            raise SimulationError("failure count must be non-negative")
+        self._fail_next_reconfigs += count
+
+    # -- reconfiguration ------------------------------------------------------
+    def configure(self, image: ConfigImage) -> Event:
+        """Load ``image``; the event fires when kernels become callable.
+
+        Configuring the already-loaded image is free. While a
+        reconfiguration for the *same* image is in flight, callers share
+        its completion event; requesting a *different* image mid-flight
+        is an error (the paper serializes reconfigurations in the
+        scheduler server).
+        """
+        if self._reconfiguring:
+            assert self._reconfig_done is not None
+            if self._image is not None and self._image.name == image.name:
+                return self._reconfig_done
+            raise SimulationError(
+                f"{self.spec.name}: reconfiguration already in progress "
+                f"(loading {self._image.name!r}, requested {image.name!r})"
+            )
+        if self._image is not None and self._image.name == image.name:
+            done = self.sim.event()
+            done.succeed(image.name)
+            return done
+
+        busy_cus = [
+            name for name, cu in self._compute_units.items() if cu.count > 0
+        ]
+        if busy_cus:
+            raise SimulationError(
+                f"{self.spec.name}: cannot reconfigure while kernels run: {busy_cus}"
+            )
+
+        self._image = image
+        self._reconfiguring = True
+        self.reconfiguration_count += 1
+        delay = self.spec.reconfig_time(image.size_bytes)
+        self.tracer.record(
+            "fpga",
+            f"{self.spec.name}: reconfiguring with {image.name} ({delay * 1e3:.1f} ms)",
+            image=image.name,
+            delay=delay,
+        )
+        done = self.sim.event()
+        self._reconfig_done = done
+
+        def finish() -> None:
+            self._reconfiguring = False
+            self._reconfig_done = None
+            if self._fail_next_reconfigs > 0:
+                self._fail_next_reconfigs -= 1
+                self.failed_reconfigurations += 1
+                self._image = None
+                self._compute_units = {}
+                self.tracer.record(
+                    "fpga",
+                    f"{self.spec.name}: programming {image.name} FAILED",
+                    image=image.name,
+                )
+                done.fail(
+                    SimulationError(f"programming {image.name} failed")
+                )
+                return
+            # Images may replicate compute units (space-sharing, paper
+            # Section 7); default is one CU per kernel.
+            cu_of = getattr(image, "compute_units", lambda _name: 1)
+            self._compute_units = {
+                name: Resource(self.sim, capacity=max(1, cu_of(name)))
+                for name in image.kernel_names
+            }
+            self.tracer.record(
+                "fpga",
+                f"{self.spec.name}: {image.name} loaded",
+                image=image.name,
+                kernels=list(image.kernel_names),
+            )
+            done.succeed(image.name)
+
+        self.sim.call_in(delay, finish)
+        return done
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, kernel_name: str, duration: float) -> Event:
+        """Run ``kernel_name`` for ``duration`` seconds on its compute unit.
+
+        Invocations of the same kernel queue FIFO on the single CU.
+        """
+        if not self.has_kernel(kernel_name):
+            raise SimulationError(
+                f"{self.spec.name}: kernel {kernel_name!r} not loaded "
+                f"(available: {list(self.available_kernels)})"
+            )
+        if duration < 0:
+            raise SimulationError(f"negative kernel duration {duration!r}")
+        cu = self._compute_units[kernel_name]
+        done = self.sim.event()
+
+        def body():
+            req = cu.request()
+            yield req
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                cu.release(req)
+            self.busy_seconds += duration
+            self.tracer.record(
+                "fpga",
+                f"{self.spec.name}: {kernel_name} completed",
+                kernel=kernel_name,
+                duration=duration,
+            )
+            done.succeed(kernel_name)
+
+        self.sim.spawn(body())
+        return done
+
+    def queue_length(self, kernel_name: str) -> int:
+        """Waiting invocations for ``kernel_name`` (excluding the running one)."""
+        cu = self._compute_units.get(kernel_name)
+        return cu.queue_length if cu is not None else 0
+
+    def __repr__(self) -> str:
+        image = self._image.name if self._image else None
+        return f"FPGADevice({self.spec.name}, image={image!r})"

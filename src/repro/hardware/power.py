@@ -1,0 +1,121 @@
+"""Power and energy accounting (paper Section 5's future-work axis).
+
+The paper optimizes performance only, but names power as the natural
+extension: compute performance-per-watt or energy-delay-product and let
+the scheduler weigh them. This module adds the measurement substrate: a
+:class:`PowerModel` with per-device idle/active power, and an
+:class:`EnergyMeter` that integrates busy time from the platform's
+fair-share servers and the FPGA's kernel occupancy into joules.
+
+Default figures are datasheet-order-of-magnitude for the paper's
+testbed: a Xeon Bronze 3104 (85 W TDP / 6 cores), a ThunderX (~120 W /
+96 cores — the paper notes it is *not* power-efficient), and an Alveo
+U50 (75 W max, ~10 W idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Target
+
+__all__ = ["DevicePower", "PowerModel", "EnergyMeter", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Idle and per-unit active power of one device."""
+
+    idle_w: float
+    active_w_per_unit: float  # per busy core (CPU) / per busy CU (FPGA)
+
+    def __post_init__(self):
+        if self.idle_w < 0 or self.active_w_per_unit < 0:
+            raise ValueError("power figures must be non-negative")
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-device power figures for the platform."""
+
+    x86: DevicePower = DevicePower(idle_w=25.0, active_w_per_unit=10.0)
+    arm: DevicePower = DevicePower(idle_w=40.0, active_w_per_unit=0.85)
+    fpga: DevicePower = DevicePower(idle_w=10.0, active_w_per_unit=40.0)
+
+    def for_target(self, target: Target) -> DevicePower:
+        if target is Target.X86:
+            return self.x86
+        if target is Target.ARM:
+            return self.arm
+        return self.fpga
+
+    def marginal_energy_j(self, target: Target, busy_seconds: float) -> float:
+        """Incremental energy of adding ``busy_seconds`` of work on a target."""
+        return self.for_target(target).active_w_per_unit * busy_seconds
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules per device over a measurement window."""
+
+    x86_j: float
+    arm_j: float
+    fpga_j: float
+    window_s: float
+
+    @property
+    def total_j(self) -> float:
+        return self.x86_j + self.arm_j + self.fpga_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.window_s <= 0:
+            return 0.0
+        return self.total_j / self.window_s
+
+    def energy_delay_product(self, delay_s: float) -> float:
+        """The EDP metric the paper cites ([9, 40])."""
+        return self.total_j * delay_s
+
+
+class EnergyMeter:
+    """Integrates platform busy time into energy.
+
+    Reads the fair-share servers' busy integrals (core-seconds of
+    delivered service) and the FPGA's accumulated kernel-busy seconds;
+    snapshot at start, report at end.
+    """
+
+    def __init__(self, platform, model: PowerModel | None = None):
+        self.platform = platform
+        self.model = model or PowerModel()
+        self._start_time = platform.now
+        self._start_busy = self._busy_integrals()
+
+    def _busy_integrals(self) -> tuple[float, float, float]:
+        x86_busy = self.platform.x86.cpu._server._busy_integral
+        arm_busy = self.platform.arm.cpu._server._busy_integral
+        fpga_busy = getattr(self.platform.fpga, "busy_seconds", 0.0)
+        return (x86_busy, arm_busy, fpga_busy)
+
+    def reset(self) -> None:
+        self._start_time = self.platform.now
+        self._start_busy = self._busy_integrals()
+
+    def report(self) -> EnergyReport:
+        """Energy since construction/reset, idle power included."""
+        # Force the servers to account service up to `now`.
+        self.platform.x86.cpu._server._advance()
+        self.platform.arm.cpu._server._advance()
+        window = self.platform.now - self._start_time
+        now_busy = self._busy_integrals()
+        busy = [now - start for now, start in zip(now_busy, self._start_busy)]
+        return EnergyReport(
+            x86_j=self.model.x86.idle_w * window
+            + self.model.x86.active_w_per_unit * busy[0],
+            arm_j=self.model.arm.idle_w * window
+            + self.model.arm.active_w_per_unit * busy[1],
+            fpga_j=self.model.fpga.idle_w * window
+            + self.model.fpga.active_w_per_unit * busy[2],
+            window_s=window,
+        )

@@ -1,0 +1,211 @@
+"""Generalized processor-sharing service model.
+
+Both CPU clusters and network links are *fair-share servers*: a pool of
+service capacity divided equally among active jobs, with an optional
+per-job rate cap. A 6-core CPU is capacity 6 with per-job cap 1 (a
+single-threaded process cannot use more than one core); a 1 Gbps link is
+capacity 125 MB/s with no per-job cap (a lone transfer gets the whole
+pipe).
+
+This model is what makes the paper's threshold arithmetic reproducible:
+with N compute-bound processes on C cores, each runs at rate
+``min(1, C/N)``, so the execution time of a T-second job under load N is
+``T * max(1, N/C)`` — exactly the relation Xar-Trek's threshold
+estimation tool (Section 3.1, step G) exploits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim import Event, SimulationError, Simulator
+
+__all__ = ["FairShareServer", "Job"]
+
+#: Relative tolerance for treating residual work as complete; guards
+#: against floating-point dust when rescaling remaining work.
+_EPSILON = 1e-9
+
+
+def _completion_tolerance(now: float, rate: float, work: float) -> float:
+    """Residual work below this counts as complete.
+
+    Two guards combine: relative floating-point dust on the work
+    amount, and — crucially — the *clock's* resolution: once a job's
+    remaining service time falls below the ulp of the current simulated
+    time, ``now + delay == now`` and the simulation could spin forever
+    re-scheduling a zero-width step (e.g. the last bytes of a PCIe
+    transfer at 32 GB/s when ``now`` is minutes). Anything that cannot
+    advance the clock is, by definition, already finished.
+    """
+    work_dust = _EPSILON * max(1.0, work)
+    time_dust = rate * max(1e-12, 8 * math.ulp(max(1.0, now)))
+    return max(work_dust, time_dust)
+
+
+@dataclass
+class Job:
+    """One unit of work in a fair-share server."""
+
+    job_id: int
+    work: float  # total demand, in capacity-units * seconds
+    remaining: float
+    done: Event
+    tag: Any = None
+    start_time: float = 0.0
+    finish_time: Optional[float] = None
+    _cancelled: bool = field(default=False, repr=False)
+
+
+class FairShareServer:
+    """Capacity shared equally among active jobs, each capped at ``job_cap``.
+
+    Jobs are submitted with a total work demand; the server tracks
+    remaining work analytically and schedules a single "next completion"
+    event, re-derived whenever the job set changes. This is exact (not
+    time-stepped) processor sharing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: float,
+        job_cap: Optional[float] = None,
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self.job_cap = float(job_cap) if job_cap is not None else None
+        self._jobs: dict[int, Job] = {}
+        self._ids = itertools.count(1)
+        self._last_update = sim.now
+        self._epoch = 0  # invalidates stale completion callbacks
+        #: cumulative (active_jobs * dt) integral, for utilization stats
+        self._load_integral = 0.0
+        self._busy_integral = 0.0
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently in service (the paper's "load")."""
+        return len(self._jobs)
+
+    def rate_per_job(self, n: Optional[int] = None) -> float:
+        """Service rate each job receives when ``n`` jobs are active."""
+        n = self.active_jobs if n is None else n
+        if n == 0:
+            return 0.0
+        share = self.capacity / n
+        if self.job_cap is not None:
+            share = min(share, self.job_cap)
+        return share
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use since time ``since``."""
+        self._advance()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    def mean_load(self, since: float = 0.0) -> float:
+        """Time-averaged number of active jobs since time ``since``."""
+        self._advance()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._load_integral / elapsed
+
+    # -- job lifecycle -----------------------------------------------------
+    def submit(self, work: float, tag: Any = None) -> Job:
+        """Enter a job with total demand ``work``; returns its handle.
+
+        The job's ``done`` event triggers (with the job as value) when
+        the demand has been served.
+        """
+        if work < 0:
+            raise SimulationError(f"negative work {work!r}")
+        self._advance()
+        job = Job(
+            job_id=next(self._ids),
+            work=float(work),
+            remaining=float(work),
+            done=self.sim.event(),
+            tag=tag,
+            start_time=self.sim.now,
+        )
+        if work == 0:
+            job.finish_time = self.sim.now
+            job.done.succeed(job)
+            return job
+        self._jobs[job.job_id] = job
+        self._reschedule()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Remove a job before completion; its ``done`` event never fires."""
+        self._advance()
+        if self._jobs.pop(job.job_id, None) is not None:
+            job._cancelled = True
+            self._reschedule()
+
+    def remaining_work(self, job: Job) -> float:
+        self._advance()
+        return job.remaining if job.job_id in self._jobs else 0.0
+
+    # -- internals -----------------------------------------------------------
+    def _advance(self) -> None:
+        """Account for service delivered since the last state change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0 and self._jobs:
+            rate = self.rate_per_job()
+            n = len(self._jobs)
+            self._load_integral += n * dt
+            self._busy_integral += min(self.capacity, rate * n) * dt
+            for job in self._jobs.values():
+                job.remaining = max(0.0, job.remaining - rate * dt)
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Re-derive the next completion after any job-set change."""
+        self._last_update = self.sim.now
+        self._epoch += 1
+        if not self._jobs:
+            return
+        rate = self.rate_per_job()
+        shortest = min(job.remaining for job in self._jobs.values())
+        delay = shortest / rate if rate > 0 else math.inf
+        if math.isinf(delay):
+            return
+        epoch = self._epoch
+        self.sim.call_in(delay, lambda: self._on_completion(epoch))
+
+    def _on_completion(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # job set changed since this was scheduled
+        self._advance()
+        rate = self.rate_per_job()
+        finished = [
+            job
+            for job in self._jobs.values()
+            if job.remaining <= _completion_tolerance(self.sim.now, rate, job.work)
+        ]
+        if not finished and self._jobs:
+            # Pure floating-point drift: the event fired for the
+            # shortest job, so force it out rather than risk a
+            # zero-width reschedule loop.
+            finished = [min(self._jobs.values(), key=lambda j: j.remaining)]
+        for job in finished:
+            del self._jobs[job.job_id]
+            job.remaining = 0.0
+            job.finish_time = self.sim.now
+        self._reschedule()
+        for job in finished:
+            job.done.succeed(job)

@@ -1,0 +1,119 @@
+"""Popcorn-Linux-like substrate: multi-ISA binaries and cross-ISA migration.
+
+Models the pieces of Popcorn Linux that Xar-Trek builds on (paper
+Section 2): multi-ISA binaries with cross-ISA-aligned symbol tables,
+migration points with per-ISA liveness metadata, an executable
+register/stack state transformation, a page-based DSM, and the run-time
+that performs thread migration between the x86 and ARM servers.
+"""
+
+from repro.popcorn.abi import AARCH64, X86_64, ISADef, UnknownISAError, isa_def
+from repro.popcorn.binary import (
+    ISAImage,
+    LayoutError,
+    MultiISABinary,
+    Symbol,
+    SymbolKind,
+    align_symbols,
+)
+from repro.popcorn.dsm import DSM, DSMError, DSMStats, PageState
+from repro.popcorn.elf import XELFError, dump_xelf, load_xelf, read_xelf, write_xelf
+from repro.popcorn.minic import MiniCError, compile_minic, parse_minic
+from repro.popcorn.migration_points import (
+    CType,
+    LivenessMetadata,
+    LiveVar,
+    Location,
+    MetadataError,
+    MigrationPoint,
+    RegisterLoc,
+    StackLoc,
+    allocate_locations,
+)
+from repro.popcorn.runtime import MigrationError, PopcornRuntime, PopcornThread
+from repro.popcorn.state import (
+    STACK_TOP,
+    Frame,
+    MachineState,
+    StateTransformer,
+    TransformError,
+)
+from repro.popcorn.vm import (
+    BinOp,
+    Branch,
+    Call,
+    CompiledProgram,
+    Const,
+    Function,
+    Instr,
+    Jump,
+    Load,
+    MigratableVM,
+    MigrationPointInstr,
+    Program,
+    Ret,
+    Store,
+    VMError,
+    compile_program,
+    instrument_program,
+)
+
+__all__ = [
+    "AARCH64",
+    "BinOp",
+    "Branch",
+    "Call",
+    "CompiledProgram",
+    "Const",
+    "CType",
+    "Function",
+    "Instr",
+    "Jump",
+    "Load",
+    "MigratableVM",
+    "MigrationPointInstr",
+    "MiniCError",
+    "compile_minic",
+    "parse_minic",
+    "Program",
+    "Ret",
+    "Store",
+    "VMError",
+    "compile_program",
+    "instrument_program",
+    "DSM",
+    "DSMError",
+    "DSMStats",
+    "Frame",
+    "ISADef",
+    "ISAImage",
+    "LayoutError",
+    "LivenessMetadata",
+    "LiveVar",
+    "Location",
+    "MachineState",
+    "MetadataError",
+    "MigrationError",
+    "MigrationPoint",
+    "MultiISABinary",
+    "PageState",
+    "PopcornRuntime",
+    "PopcornThread",
+    "RegisterLoc",
+    "STACK_TOP",
+    "StackLoc",
+    "StateTransformer",
+    "Symbol",
+    "SymbolKind",
+    "TransformError",
+    "UnknownISAError",
+    "X86_64",
+    "XELFError",
+    "align_symbols",
+    "allocate_locations",
+    "dump_xelf",
+    "isa_def",
+    "load_xelf",
+    "read_xelf",
+    "write_xelf",
+]

@@ -1,0 +1,93 @@
+"""ISA/ABI definitions for the state transformer.
+
+Captures the parts of the x86-64 SysV and AArch64 AAPCS ABIs that the
+cross-ISA state transformation needs: register files, argument/return
+registers, callee-saved sets, and stack alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ISADef", "X86_64", "AARCH64", "isa_def", "UnknownISAError"]
+
+
+class UnknownISAError(Exception):
+    """Raised when an ISA name has no registered ABI definition."""
+
+
+@dataclass(frozen=True)
+class ISADef:
+    """The ABI facts the transformer relies on for one ISA."""
+
+    name: str
+    word_size: int
+    arg_regs: tuple[str, ...]
+    ret_reg: str
+    sp_reg: str
+    fp_reg: str
+    callee_saved: tuple[str, ...]
+    scratch_regs: tuple[str, ...]
+    fp_arg_regs: tuple[str, ...]
+    stack_align: int
+    red_zone: int = 0
+
+    @property
+    def all_registers(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for reg in (
+            *self.arg_regs,
+            self.ret_reg,
+            self.sp_reg,
+            self.fp_reg,
+            *self.callee_saved,
+            *self.scratch_regs,
+            *self.fp_arg_regs,
+        ):
+            seen.setdefault(reg)
+        return tuple(seen)
+
+    def __post_init__(self):
+        if self.word_size not in (4, 8):
+            raise ValueError(f"unsupported word size {self.word_size}")
+        if self.stack_align & (self.stack_align - 1):
+            raise ValueError("stack_align must be a power of two")
+
+
+X86_64 = ISADef(
+    name="x86_64",
+    word_size=8,
+    arg_regs=("rdi", "rsi", "rdx", "rcx", "r8", "r9"),
+    ret_reg="rax",
+    sp_reg="rsp",
+    fp_reg="rbp",
+    callee_saved=("rbx", "r12", "r13", "r14", "r15"),
+    scratch_regs=("r10", "r11"),
+    fp_arg_regs=tuple(f"xmm{i}" for i in range(8)),
+    stack_align=16,
+    red_zone=128,
+)
+
+AARCH64 = ISADef(
+    name="aarch64",
+    word_size=8,
+    arg_regs=tuple(f"x{i}" for i in range(8)),
+    ret_reg="x0",
+    sp_reg="sp",
+    fp_reg="x29",
+    callee_saved=tuple(f"x{i}" for i in range(19, 29)),
+    scratch_regs=tuple(f"x{i}" for i in range(9, 16)),
+    fp_arg_regs=tuple(f"v{i}" for i in range(8)),
+    stack_align=16,
+    red_zone=0,
+)
+
+_ISA_DEFS = {isa.name: isa for isa in (X86_64, AARCH64)}
+
+
+def isa_def(name: str) -> ISADef:
+    """Look up an ABI definition by ISA name."""
+    try:
+        return _ISA_DEFS[name]
+    except KeyError:
+        raise UnknownISAError(f"no ABI definition for ISA {name!r}") from None

@@ -1,0 +1,163 @@
+"""Multi-ISA binary artifacts.
+
+Popcorn Linux's compiler emits one machine-code image per ISA but keeps
+every symbol (globals, statics, functions) at the *same virtual address*
+in all images, so pointers mean the same thing before and after a
+migration (Section 2). This module models that artifact: symbols, the
+cross-ISA address-alignment pass, per-ISA images, and the combined
+multi-ISA binary with its size accounting (used by Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "Symbol",
+    "SymbolKind",
+    "align_symbols",
+    "ISAImage",
+    "MultiISABinary",
+    "LayoutError",
+]
+
+
+class LayoutError(Exception):
+    """Raised when cross-ISA address alignment is impossible or violated."""
+
+
+class SymbolKind:
+    """ELF-like symbol kinds."""
+
+    FUNCTION = "function"
+    OBJECT = "object"  # globals / statics
+    TLS = "tls"
+
+    ALL = (FUNCTION, OBJECT, TLS)
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named program entity that must live at one address on every ISA.
+
+    ``sizes`` maps ISA name to the symbol's size in that image (function
+    bodies differ across ISAs; data objects usually do not).
+    """
+
+    name: str
+    kind: str
+    sizes: dict[str, int] = field(hash=False)
+    align: int = 16
+
+    def __post_init__(self):
+        if self.kind not in SymbolKind.ALL:
+            raise LayoutError(f"unknown symbol kind {self.kind!r}")
+        if self.align <= 0 or (self.align & (self.align - 1)):
+            raise LayoutError(f"alignment must be a power of two, got {self.align}")
+        if not self.sizes:
+            raise LayoutError(f"symbol {self.name!r} has no per-ISA sizes")
+        if any(size < 0 for size in self.sizes.values()):
+            raise LayoutError(f"symbol {self.name!r} has a negative size")
+
+    def max_size(self) -> int:
+        """The slot size the aligned layout must reserve on every ISA."""
+        return max(self.sizes.values())
+
+
+def align_symbols(
+    symbols: Iterable[Symbol], base_address: int = 0x400000
+) -> dict[str, int]:
+    """Assign each symbol one virtual address shared by all ISAs.
+
+    Mirrors Popcorn's alignment tool: symbols are laid out at their
+    maximum per-ISA size (so every image can hold its version in the
+    same slot), respecting each symbol's alignment. Returns
+    ``{symbol_name: address}``. Deterministic: symbols are placed in the
+    order given.
+    """
+    addresses: dict[str, int] = {}
+    cursor = base_address
+    for sym in symbols:
+        if sym.name in addresses:
+            raise LayoutError(f"duplicate symbol {sym.name!r}")
+        cursor = (cursor + sym.align - 1) & ~(sym.align - 1)
+        addresses[sym.name] = cursor
+        cursor += sym.max_size()
+    return addresses
+
+
+@dataclass(frozen=True)
+class ISAImage:
+    """One ISA's view of the program: section sizes plus migration metadata.
+
+    ``metadata_bytes`` covers Popcorn's per-call-site liveness records
+    used by the run-time state transformation.
+    """
+
+    isa: str
+    text_bytes: int
+    data_bytes: int
+    metadata_bytes: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.text_bytes + self.data_bytes + self.metadata_bytes
+
+
+class MultiISABinary:
+    """An executable that can run — and migrate — on several ISAs."""
+
+    def __init__(
+        self,
+        name: str,
+        images: dict[str, ISAImage],
+        symbols: Optional[list[Symbol]] = None,
+        base_address: int = 0x400000,
+    ):
+        if not images:
+            raise LayoutError(f"binary {name!r} has no ISA images")
+        for isa, image in images.items():
+            if image.isa != isa:
+                raise LayoutError(
+                    f"image key {isa!r} does not match image ISA {image.isa!r}"
+                )
+        self.name = name
+        self.images = dict(images)
+        self.symbols = list(symbols or [])
+        self.addresses = align_symbols(self.symbols, base_address)
+        self._check_symbol_isas()
+
+    def _check_symbol_isas(self) -> None:
+        isas = set(self.images)
+        for sym in self.symbols:
+            missing = isas - set(sym.sizes)
+            if missing:
+                raise LayoutError(
+                    f"symbol {sym.name!r} lacks sizes for ISAs {sorted(missing)}"
+                )
+
+    @property
+    def isas(self) -> tuple[str, ...]:
+        return tuple(sorted(self.images))
+
+    def supports(self, isa: str) -> bool:
+        return isa in self.images
+
+    def address_of(self, symbol_name: str) -> int:
+        """The (ISA-independent) virtual address of a symbol."""
+        try:
+            return self.addresses[symbol_name]
+        except KeyError:
+            raise LayoutError(f"unknown symbol {symbol_name!r}") from None
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size: the sum of all ISA images."""
+        return sum(image.size_bytes for image in self.images.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiISABinary({self.name!r}, isas={list(self.isas)}, "
+            f"{self.size_bytes} bytes)"
+        )

@@ -1,0 +1,273 @@
+"""Page-granularity distributed shared memory (DSM).
+
+Popcorn Linux provides sequentially-consistent shared memory across
+ISA-different machines as a first-class OS abstraction (Section 2). This
+module models that protocol at page level: an MSI write-invalidate
+protocol with a directory, where page payloads and control messages
+travel over the (shared, fair-shared) Ethernet link model — so DSM
+traffic from one migrating application slows down another's, as on the
+real testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.interconnect import Link
+from repro.sim import Event, Simulator, Tracer
+
+__all__ = ["PageState", "DSMStats", "DSM", "DSMError"]
+
+#: Size of a protocol control message (invalidate / ack / request) in bytes.
+CONTROL_MESSAGE_BYTES = 64
+
+
+class DSMError(Exception):
+    """Raised for protocol misuse (unknown node, etc.)."""
+
+
+class PageState:
+    """Per-node MSI state of a page."""
+
+    MODIFIED = "M"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DSMStats:
+    """Protocol traffic counters."""
+
+    local_hits: int = 0
+    page_transfers: int = 0
+    invalidations: int = 0
+    control_messages: int = 0
+    bytes_transferred: float = 0.0
+
+
+@dataclass
+class _PageEntry:
+    """Directory entry: which node holds the page in which state."""
+
+    states: dict[str, str] = field(default_factory=dict)
+
+    def holders(self) -> list[str]:
+        return [n for n, s in self.states.items() if s != PageState.INVALID]
+
+    def owner(self) -> Optional[str]:
+        for node, state in self.states.items():
+            if state == PageState.MODIFIED:
+                return node
+        return None
+
+
+class DSM:
+    """A directory-based MSI DSM over a link model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        page_size: int = 4096,
+        tracer: Optional[Tracer] = None,
+    ):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise DSMError(f"page size must be a power of two, got {page_size}")
+        self.sim = sim
+        self.link = link
+        self.page_size = page_size
+        self.tracer = tracer or Tracer(enabled=False)
+        self.nodes: set[str] = set()
+        self.directory: dict[int, _PageEntry] = {}
+        self.stats = DSMStats()
+
+    # -- topology ------------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        if name in self.nodes:
+            raise DSMError(f"node {name!r} already registered")
+        self.nodes.add(name)
+
+    def _check_node(self, node: str) -> None:
+        if node not in self.nodes:
+            raise DSMError(f"unknown DSM node {node!r}")
+
+    def page_of(self, addr: int) -> int:
+        return addr & ~(self.page_size - 1)
+
+    def page_state(self, node: str, addr: int) -> str:
+        self._check_node(node)
+        entry = self.directory.get(self.page_of(addr))
+        if entry is None:
+            return PageState.INVALID
+        return entry.states.get(node, PageState.INVALID)
+
+    # -- protocol operations ----------------------------------------------------
+    def read(self, node: str, addr: int) -> Event:
+        """Gain read access to the page holding ``addr``.
+
+        Local S/M copies hit immediately; otherwise the page is fetched
+        from its owner (downgrading an M copy to S).
+        """
+        self._check_node(node)
+        page = self.page_of(addr)
+        entry = self.directory.setdefault(page, _PageEntry())
+        state = entry.states.get(node, PageState.INVALID)
+        done = self.sim.event()
+
+        if state in (PageState.SHARED, PageState.MODIFIED):
+            self.stats.local_hits += 1
+            done.succeed(page)
+            return done
+
+        holders = entry.holders()
+        if not holders:
+            # First touch anywhere: zero-fill locally, no traffic.
+            entry.states[node] = PageState.SHARED
+            self.stats.local_hits += 1
+            done.succeed(page)
+            return done
+
+        def protocol():
+            # Request to the directory/owner, then the page payload back.
+            self.stats.control_messages += 1
+            self.stats.bytes_transferred += CONTROL_MESSAGE_BYTES
+            yield self.link.transfer(CONTROL_MESSAGE_BYTES, tag=("dsm-req", node, page))
+            owner = entry.owner()
+            if owner is not None:
+                entry.states[owner] = PageState.SHARED  # writeback/downgrade
+            self.stats.page_transfers += 1
+            self.stats.bytes_transferred += self.page_size
+            yield self.link.transfer(self.page_size, tag=("dsm-page", node, page))
+            entry.states[node] = PageState.SHARED
+            self.tracer.record(
+                "dsm", f"{node}: read-fetch page {page:#x}", node=node, page=page
+            )
+            done.succeed(page)
+
+        self.sim.spawn(protocol())
+        return done
+
+    def write(self, node: str, addr: int) -> Event:
+        """Gain exclusive (M) access to the page holding ``addr``.
+
+        Invalidates every other copy (one control round per holder,
+        issued concurrently) and fetches the payload if ``node`` has no
+        valid copy.
+        """
+        self._check_node(node)
+        page = self.page_of(addr)
+        entry = self.directory.setdefault(page, _PageEntry())
+        state = entry.states.get(node, PageState.INVALID)
+        done = self.sim.event()
+
+        others = [n for n in entry.holders() if n != node]
+        if state == PageState.MODIFIED:
+            self.stats.local_hits += 1
+            done.succeed(page)
+            return done
+        if state == PageState.SHARED and not others:
+            # Silent S->M upgrade: sole holder.
+            entry.states[node] = PageState.MODIFIED
+            self.stats.local_hits += 1
+            done.succeed(page)
+            return done
+        if not others and state == PageState.INVALID and not entry.holders():
+            # First touch anywhere.
+            entry.states[node] = PageState.MODIFIED
+            self.stats.local_hits += 1
+            done.succeed(page)
+            return done
+
+        need_payload = state == PageState.INVALID
+
+        def protocol():
+            # Invalidations to all other holders, in parallel.
+            invalidation_acks = []
+            for other in others:
+                self.stats.invalidations += 1
+                self.stats.control_messages += 2  # invalidate + ack
+                self.stats.bytes_transferred += 2 * CONTROL_MESSAGE_BYTES
+                invalidation_acks.append(
+                    self.link.transfer(
+                        2 * CONTROL_MESSAGE_BYTES, tag=("dsm-inv", other, page)
+                    )
+                )
+            if invalidation_acks:
+                yield self.sim.all_of(invalidation_acks)
+            if need_payload:
+                self.stats.page_transfers += 1
+                self.stats.bytes_transferred += self.page_size
+                yield self.link.transfer(self.page_size, tag=("dsm-page", node, page))
+            for other in others:
+                entry.states[other] = PageState.INVALID
+            entry.states[node] = PageState.MODIFIED
+            self.tracer.record(
+                "dsm", f"{node}: write-own page {page:#x}", node=node, page=page
+            )
+            done.succeed(page)
+
+        self.sim.spawn(protocol())
+        return done
+
+    def seed_pages(self, node: str, addrs: list[int]) -> None:
+        """Mark pages as locally modified at ``node`` with no traffic.
+
+        Models memory a process allocated and wrote before the DSM ever
+        got involved (its pre-migration working set).
+        """
+        self._check_node(node)
+        for addr in addrs:
+            page = self.page_of(addr)
+            entry = self.directory.setdefault(page, _PageEntry())
+            for holder in entry.holders():
+                entry.states[holder] = PageState.INVALID
+            entry.states[node] = PageState.MODIFIED
+
+    def migrate_pages(self, src: str, dst: str, addrs: list[int]) -> Event:
+        """Eagerly move a working set from ``src`` to ``dst`` (M at dst).
+
+        Used when a thread migrates: its dirty pages are pushed up front
+        in one batched wire transfer (as Popcorn's migration path does)
+        instead of being faulted over one by one.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        pages = sorted({self.page_of(a) for a in addrs})
+        done = self.sim.event()
+
+        to_transfer: list[int] = []
+        to_claim: list[int] = []
+        for page in pages:
+            entry = self.directory.setdefault(page, _PageEntry())
+            if entry.states.get(dst) == PageState.MODIFIED:
+                continue
+            to_claim.append(page)
+            if entry.holders():
+                to_transfer.append(page)
+
+        def finish() -> None:
+            for page in to_claim:
+                entry = self.directory[page]
+                for holder in entry.holders():
+                    entry.states[holder] = PageState.INVALID
+                entry.states[dst] = PageState.MODIFIED
+            self.tracer.record(
+                "dsm",
+                f"{src} -> {dst}: migrated {len(to_claim)} pages "
+                f"({len(to_transfer)} over the wire)",
+                src=src,
+                dst=dst,
+                pages=len(to_claim),
+            )
+            done.succeed(len(pages))
+
+        if to_transfer:
+            nbytes = len(to_transfer) * self.page_size
+            self.stats.page_transfers += len(to_transfer)
+            self.stats.bytes_transferred += nbytes
+            transfer = self.link.transfer(nbytes, tag=("dsm-migrate", dst, len(to_transfer)))
+            transfer.callbacks.append(lambda _ev: finish())
+        else:
+            finish()
+        return done

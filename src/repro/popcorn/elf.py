@@ -1,0 +1,232 @@
+"""XELF: an on-disk container for multi-ISA binaries.
+
+Popcorn's artifacts are ELF executables with extra sections: one
+machine-code image per ISA, a cross-ISA-aligned symbol table, and the
+``.popcorn.metadata`` liveness records the run-time transformer reads.
+This module implements a compact, versioned binary container with the
+same information content — a real byte format with a writer and a
+strict parser (every truncation/corruption path raises
+:class:`XELFError`), so artifacts can be written to disk, shipped, and
+reloaded without the Python object graph.
+
+Layout (little-endian)::
+
+    magic "XARB" | u16 version | header
+    application name, base address
+    ISA table        (name, text/data/metadata sizes)
+    symbol table     (name, kind, align, per-ISA sizes)
+    migration points (id, function, offset, live vars with per-ISA
+                      register/stack locations)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+from repro.popcorn.binary import ISAImage, MultiISABinary, Symbol, SymbolKind
+from repro.popcorn.migration_points import (
+    CType,
+    LivenessMetadata,
+    LiveVar,
+    MigrationPoint,
+    RegisterLoc,
+    StackLoc,
+)
+
+__all__ = ["XELFError", "write_xelf", "read_xelf", "dump_xelf", "load_xelf"]
+
+_MAGIC = b"XARB"
+_VERSION = 1
+
+_KIND_CODES = {SymbolKind.FUNCTION: 1, SymbolKind.OBJECT: 2, SymbolKind.TLS: 3}
+_KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
+_CTYPE_CODES = {c: i + 1 for i, c in enumerate(CType.ALL)}
+_CTYPE_NAMES = {code: c for c, code in _CTYPE_CODES.items()}
+_LOC_REGISTER = 1
+_LOC_STACK = 2
+
+
+class XELFError(Exception):
+    """Raised for malformed or truncated XELF data."""
+
+
+# -- primitive encoders ----------------------------------------------------------
+def _write_str(out: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise XELFError(f"string too long ({len(raw)} bytes)")
+    out.write(struct.pack("<H", len(raw)))
+    out.write(raw)
+
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise XELFError(f"truncated: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def _read_str(stream: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", _read_exact(stream, 2))
+    return _read_exact(stream, length).decode("utf-8")
+
+
+def _unpack(stream: BinaryIO, fmt: str):
+    return struct.unpack(fmt, _read_exact(stream, struct.calcsize(fmt)))
+
+
+# -- writing --------------------------------------------------------------------
+def write_xelf(
+    binary: MultiISABinary, metadata: LivenessMetadata | None = None
+) -> bytes:
+    """Serialize a multi-ISA binary (and optionally its metadata)."""
+    out = io.BytesIO()
+    isas = list(binary.isas)
+    points = sorted(metadata.points.values(), key=lambda p: p.point_id) if metadata else []
+
+    out.write(_MAGIC)
+    out.write(
+        struct.pack(
+            "<HHHIQ",
+            _VERSION,
+            len(isas),
+            len(binary.symbols),
+            len(points),
+            0x400000 if not binary.symbols else min(binary.addresses.values()),
+        )
+    )
+    _write_str(out, binary.name)
+
+    for isa in isas:
+        image = binary.images[isa]
+        _write_str(out, isa)
+        out.write(
+            struct.pack(
+                "<QQQ", image.text_bytes, image.data_bytes, image.metadata_bytes
+            )
+        )
+
+    isa_index = {isa: i for i, isa in enumerate(isas)}
+    for sym in binary.symbols:
+        _write_str(out, sym.name)
+        out.write(struct.pack("<BHH", _KIND_CODES[sym.kind], sym.align, len(sym.sizes)))
+        for isa, size in sorted(sym.sizes.items()):
+            if isa not in isa_index:
+                raise XELFError(f"symbol {sym.name!r} sized for unknown ISA {isa!r}")
+            out.write(struct.pack("<HQ", isa_index[isa], size))
+
+    for point in points:
+        out.write(struct.pack("<II", point.point_id, point.offset))
+        _write_str(out, point.function)
+        out.write(struct.pack("<H", len(point.live_vars)))
+        for var in point.live_vars:
+            _write_str(out, var.name)
+            out.write(struct.pack("<BH", _CTYPE_CODES[var.ctype], len(var.locations)))
+            for isa, loc in sorted(var.locations.items()):
+                _write_str(out, isa)
+                if isinstance(loc, RegisterLoc):
+                    out.write(struct.pack("<B", _LOC_REGISTER))
+                    _write_str(out, loc.register)
+                elif isinstance(loc, StackLoc):
+                    out.write(struct.pack("<BI", _LOC_STACK, loc.offset))
+                else:  # pragma: no cover - closed hierarchy
+                    raise XELFError(f"unknown location {loc!r}")
+    return out.getvalue()
+
+
+# -- reading --------------------------------------------------------------------
+def read_xelf(data: bytes) -> tuple[MultiISABinary, LivenessMetadata]:
+    """Parse XELF bytes back into the binary + liveness metadata."""
+    stream = io.BytesIO(data)
+    if _read_exact(stream, 4) != _MAGIC:
+        raise XELFError("bad magic: not an XELF container")
+    version, n_isas, n_symbols, n_points, base_address = _unpack(stream, "<HHHIQ")
+    if version != _VERSION:
+        raise XELFError(f"unsupported XELF version {version}")
+    if n_isas == 0:
+        raise XELFError("container declares zero ISAs")
+    name = _read_str(stream)
+
+    isas: list[str] = []
+    images: dict[str, ISAImage] = {}
+    for _ in range(n_isas):
+        isa = _read_str(stream)
+        text, data_bytes, metadata_bytes = _unpack(stream, "<QQQ")
+        if isa in images:
+            raise XELFError(f"duplicate ISA {isa!r}")
+        isas.append(isa)
+        images[isa] = ISAImage(isa, text, data_bytes, metadata_bytes)
+
+    symbols: list[Symbol] = []
+    for _ in range(n_symbols):
+        sym_name = _read_str(stream)
+        kind_code, align, n_sizes = _unpack(stream, "<BHH")
+        if kind_code not in _KIND_NAMES:
+            raise XELFError(f"symbol {sym_name!r}: unknown kind code {kind_code}")
+        sizes: dict[str, int] = {}
+        for _ in range(n_sizes):
+            isa_idx, size = _unpack(stream, "<HQ")
+            if isa_idx >= len(isas):
+                raise XELFError(f"symbol {sym_name!r}: ISA index {isa_idx} out of range")
+            sizes[isas[isa_idx]] = size
+        symbols.append(Symbol(sym_name, _KIND_NAMES[kind_code], sizes, align=align))
+
+    points: list[MigrationPoint] = []
+    for _ in range(n_points):
+        point_id, offset = _unpack(stream, "<II")
+        function = _read_str(stream)
+        (n_vars,) = _unpack(stream, "<H")
+        live_vars = []
+        for _ in range(n_vars):
+            var_name = _read_str(stream)
+            ctype_code, n_locs = _unpack(stream, "<BH")
+            if ctype_code not in _CTYPE_NAMES:
+                raise XELFError(f"var {var_name!r}: unknown ctype code {ctype_code}")
+            locations = {}
+            for _ in range(n_locs):
+                isa = _read_str(stream)
+                (loc_kind,) = _unpack(stream, "<B")
+                if loc_kind == _LOC_REGISTER:
+                    locations[isa] = RegisterLoc(_read_str(stream))
+                elif loc_kind == _LOC_STACK:
+                    (stack_offset,) = _unpack(stream, "<I")
+                    locations[isa] = StackLoc(stack_offset)
+                else:
+                    raise XELFError(f"var {var_name!r}: unknown location kind {loc_kind}")
+            live_vars.append(LiveVar(var_name, _CTYPE_NAMES[ctype_code], locations))
+        points.append(
+            MigrationPoint(
+                point_id=point_id,
+                function=function,
+                offset=offset,
+                live_vars=tuple(live_vars),
+            )
+        )
+
+    trailing = stream.read(1)
+    if trailing:
+        raise XELFError("trailing bytes after XELF payload")
+
+    binary = MultiISABinary(
+        name, images=images, symbols=symbols, base_address=base_address
+    )
+    return binary, LivenessMetadata(points)
+
+
+# -- file helpers ----------------------------------------------------------------
+def dump_xelf(
+    path, binary: MultiISABinary, metadata: LivenessMetadata | None = None
+) -> int:
+    """Write an XELF file; returns the byte count."""
+    payload = write_xelf(binary, metadata)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def load_xelf(path) -> tuple[MultiISABinary, LivenessMetadata]:
+    """Read an XELF file."""
+    with open(path, "rb") as handle:
+        return read_xelf(handle.read())

@@ -1,0 +1,209 @@
+"""Migration points and liveness metadata.
+
+A migration point is a program location where memory state is equivalent
+across ISAs (Section 2), so execution may hop between them. For each
+point, the compiler's liveness pass records the live variables and where
+each one lives (register or stack slot) *per ISA* — the metadata the
+run-time state transformer consumes.
+
+:func:`allocate_locations` is the reference allocator used by the
+instrumentation step: it deterministically maps live variables to each
+ISA's callee-saved registers first, spilling the rest to aligned stack
+slots, which yields genuinely different layouts on x86-64 (5 callee-saved
+registers) and AArch64 (10) — so the round-trip transformation tests are
+not vacuous.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.popcorn.abi import ISADef, isa_def
+
+__all__ = [
+    "CType",
+    "Location",
+    "RegisterLoc",
+    "StackLoc",
+    "LiveVar",
+    "MigrationPoint",
+    "LivenessMetadata",
+    "allocate_locations",
+    "MetadataError",
+]
+
+
+class MetadataError(Exception):
+    """Raised for malformed or incomplete liveness metadata."""
+
+
+class CType:
+    """The C types the transformer understands, with wire encodings."""
+
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "f32"
+    F64 = "f64"
+    PTR = "ptr"
+
+    ALL = (I32, I64, F32, F64, PTR)
+
+    _PACK = {I32: "<i", I64: "<q", F32: "<f", F64: "<d", PTR: "<Q"}
+    _SIZE = {I32: 4, I64: 8, F32: 4, F64: 8, PTR: 8}
+
+    @classmethod
+    def size(cls, ctype: str) -> int:
+        try:
+            return cls._SIZE[ctype]
+        except KeyError:
+            raise MetadataError(f"unknown C type {ctype!r}") from None
+
+    @classmethod
+    def pack(cls, ctype: str, value) -> bytes:
+        """Encode a Python value into the 8-byte slot representation."""
+        raw = struct.pack(cls._PACK[ctype], value)
+        return raw.ljust(8, b"\x00")
+
+    @classmethod
+    def unpack(cls, ctype: str, raw: bytes):
+        """Decode a slot back into a Python value."""
+        size = cls.size(ctype)
+        return struct.unpack(cls._PACK[ctype], raw[:size])[0]
+
+    @classmethod
+    def is_float(cls, ctype: str) -> bool:
+        return ctype in (cls.F32, cls.F64)
+
+
+class Location:
+    """Where a live variable resides at a migration point."""
+
+
+@dataclass(frozen=True)
+class RegisterLoc(Location):
+    register: str
+
+    def __str__(self) -> str:
+        return f"%{self.register}"
+
+
+@dataclass(frozen=True)
+class StackLoc(Location):
+    """Offset (bytes, positive, 8-aligned) below the frame base."""
+
+    offset: int
+
+    def __post_init__(self):
+        if self.offset < 0 or self.offset % 8:
+            raise MetadataError(f"bad stack offset {self.offset}")
+
+    def __str__(self) -> str:
+        return f"[fp-{self.offset}]"
+
+
+@dataclass(frozen=True)
+class LiveVar:
+    """A variable live across a migration point."""
+
+    name: str
+    ctype: str
+    locations: dict[str, Location] = field(hash=False)
+
+    def __post_init__(self):
+        if self.ctype not in CType.ALL:
+            raise MetadataError(f"{self.name}: unknown C type {self.ctype!r}")
+
+    def location(self, isa: str) -> Location:
+        try:
+            return self.locations[isa]
+        except KeyError:
+            raise MetadataError(f"{self.name}: no location for ISA {isa!r}") from None
+
+
+@dataclass(frozen=True)
+class MigrationPoint:
+    """One cross-ISA-equivalent program location."""
+
+    point_id: int
+    function: str
+    offset: int  # instruction offset within the function (informational)
+    live_vars: tuple[LiveVar, ...]
+
+    def frame_bytes(self, isa: str) -> int:
+        """Stack-frame footprint of the spilled live variables on ``isa``."""
+        offsets = [
+            loc.offset
+            for var in self.live_vars
+            if isinstance(loc := var.location(isa), StackLoc)
+        ]
+        return max(offsets, default=0) + (8 if offsets else 0)
+
+
+class LivenessMetadata:
+    """All migration points of one binary, indexed for the run-time."""
+
+    def __init__(self, points: Iterable[MigrationPoint]):
+        self.points: dict[int, MigrationPoint] = {}
+        self.by_function: dict[str, list[MigrationPoint]] = {}
+        for point in points:
+            if point.point_id in self.points:
+                raise MetadataError(f"duplicate migration point id {point.point_id}")
+            self.points[point.point_id] = point
+            self.by_function.setdefault(point.function, []).append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def point(self, point_id: int) -> MigrationPoint:
+        try:
+            return self.points[point_id]
+        except KeyError:
+            raise MetadataError(f"unknown migration point {point_id}") from None
+
+    def points_in(self, function: str) -> list[MigrationPoint]:
+        return list(self.by_function.get(function, []))
+
+    def size_bytes(self) -> int:
+        """On-disk size of the metadata section (~24 B per live location)."""
+        records = sum(
+            len(point.live_vars) * len(_isas_of(point)) for point in self.points.values()
+        )
+        return 64 * len(self.points) + 24 * records
+
+
+def _isas_of(point: MigrationPoint) -> set[str]:
+    isas: set[str] = set()
+    for var in point.live_vars:
+        isas.update(var.locations)
+    return isas
+
+
+def allocate_locations(
+    variables: list[tuple[str, str]],
+    isas: Iterable[str] = ("x86_64", "aarch64"),
+    reserve_regs: int = 0,
+) -> list[LiveVar]:
+    """Deterministically place variables in registers/stack per ISA.
+
+    Integer/pointer variables fill each ISA's callee-saved registers
+    (minus ``reserve_regs`` held back for the function's own use);
+    floats and any overflow land in consecutive 8-byte stack slots.
+    """
+    defs: dict[str, ISADef] = {isa: isa_def(isa) for isa in isas}
+    live_vars = []
+    next_reg = {isa: 0 for isa in defs}
+    next_slot = {isa: 8 for isa in defs}
+    for name, ctype in variables:
+        locations: dict[str, Location] = {}
+        for isa, abi in defs.items():
+            usable = abi.callee_saved[: max(0, len(abi.callee_saved) - reserve_regs)]
+            if not CType.is_float(ctype) and next_reg[isa] < len(usable):
+                locations[isa] = RegisterLoc(usable[next_reg[isa]])
+                next_reg[isa] += 1
+            else:
+                locations[isa] = StackLoc(next_slot[isa])
+                next_slot[isa] += 8
+        live_vars.append(LiveVar(name=name, ctype=ctype, locations=locations))
+    return live_vars

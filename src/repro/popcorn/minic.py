@@ -1,0 +1,406 @@
+"""MiniC: a small C-like language compiling to the migratable VM's IR.
+
+The Xar-Trek toolchain consumes C; this front end closes the loop for
+the instruction-level substrate: write a function in MiniC source,
+compile it (lexer -> recursive-descent parser -> AST -> IR codegen),
+and run it on :class:`~repro.popcorn.vm.MigratableVM`, migrating
+between ISA layouts at ``migrate_point`` statements.
+
+Grammar (integers only; all variables are i64)::
+
+    program    := func*
+    func       := "func" NAME "(" [NAME ("," NAME)*] ")" block
+    block      := "{" stmt* "}"
+    stmt       := "let" NAME "=" expr ";"
+                | NAME "=" expr ";"
+                | "if" expr block ["else" block]
+                | "while" expr block
+                | "return" [expr] ";"
+                | "migrate_point" [NAME] ";"
+                | "store" "(" expr "," expr ")" ";"
+    expr       := sum [("=="|"!="|"<"|"<="|">"|">=") sum]
+    sum        := product (("+"|"-") product)*
+    product    := atom (("*"|"/"|"%") atom)*
+    atom       := NUMBER | NAME | NAME "(" [expr ("," expr)*] ")"
+                | "load" "(" expr ")" | "(" expr ")" | "-" atom
+
+Example::
+
+    func fact(n) {
+        migrate_point entry;
+        if n <= 1 { return 1; }
+        return n * fact(n - 1);
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.popcorn.migration_points import CType
+from repro.popcorn.vm import (
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Function,
+    Instr,
+    Jump,
+    Load,
+    MigrationPointInstr,
+    Program,
+    Ret,
+    Store,
+)
+
+__all__ = ["MiniCError", "compile_minic", "parse_minic"]
+
+
+class MiniCError(Exception):
+    """Raised for lexical, syntactic, or semantic errors."""
+
+
+# -- lexer -------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<comment>//[^\n]*)"
+    r"|(?P<number>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op>==|!=|<=|>=|[-+*/%<>=(){},;])"
+    r")"
+)
+
+_KEYWORDS = {"func", "let", "if", "else", "while", "return", "migrate_point",
+             "load", "store"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number | name | keyword | op
+    text: str
+    pos: int
+
+
+def _lex(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if not match or match.end() == index:
+            if source[index:].strip():
+                raise MiniCError(f"lexical error at {source[index:index + 12]!r}")
+            break
+        index = match.end()
+        if match.lastgroup == "comment":
+            continue
+        text = match.group(match.lastgroup)
+        kind = match.lastgroup
+        if kind == "name" and text in _KEYWORDS:
+            kind = "keyword"
+        tokens.append(_Token(kind, text, match.start()))
+    return tokens
+
+
+# -- parser / code generator ------------------------------------------------------
+class _FunctionBuilder:
+    """Accumulates instructions and resolves structured control flow."""
+
+    def __init__(self, name: str, params: list[str]):
+        self.name = name
+        self.params = params
+        self.variables: dict[str, None] = {p: None for p in params}
+        self.body: list[Instr] = []
+        self._temp_count = 0
+
+    def declare(self, name: str) -> None:
+        self.variables.setdefault(name)
+
+    def require(self, name: str) -> None:
+        if name not in self.variables:
+            raise MiniCError(f"{self.name}: use of undeclared variable {name!r}")
+
+    def temp(self) -> str:
+        self._temp_count += 1
+        name = f"$t{self._temp_count}"
+        self.declare(name)
+        return name
+
+    def emit(self, instr: Instr) -> int:
+        self.body.append(instr)
+        return len(self.body) - 1
+
+    def patch_jump(self, index: int, target: int) -> None:
+        instr = self.body[index]
+        if isinstance(instr, Jump):
+            self.body[index] = Jump(f"@{target}")
+        elif isinstance(instr, Branch):
+            self.body[index] = Branch(instr.cond_var, f"@{target}")
+        else:  # pragma: no cover - builder misuse
+            raise MiniCError("patching a non-jump")
+
+    def finish(self) -> Function:
+        if not self.body or not isinstance(self.body[-1], Ret):
+            # Implicit `return 0;` like C's main.
+            zero = self.temp()
+            self.emit(Const(zero, 0))
+            self.emit(Ret(zero))
+        return Function(
+            name=self.name,
+            params=tuple(self.params),
+            variables=tuple((v, CType.I64) for v in self.variables),
+            body=tuple(self.body),
+        )
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+        self.functions: dict[str, Function] = {}
+
+    # -- token plumbing ----------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise MiniCError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            line = self.source.count("\n", 0, token.pos) + 1
+            raise MiniCError(f"line {line}: expected {text!r}, got {token.text!r}")
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+    def parse_program(self) -> Program:
+        while self._peek() is not None:
+            self._parse_function()
+        if not self.functions:
+            raise MiniCError("no functions defined")
+        entry = next(iter(self.functions))
+        return Program(functions=self.functions, entry=entry)
+
+    def _parse_function(self) -> None:
+        self._expect("func")
+        name = self._next()
+        if name.kind != "name":
+            raise MiniCError(f"bad function name {name.text!r}")
+        self._expect("(")
+        params: list[str] = []
+        if not self._accept(")"):
+            while True:
+                param = self._next()
+                if param.kind != "name":
+                    raise MiniCError(f"bad parameter {param.text!r}")
+                params.append(param.text)
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        if name.text in self.functions:
+            raise MiniCError(f"function {name.text!r} redefined")
+        builder = _FunctionBuilder(name.text, params)
+        self._parse_block(builder)
+        self.functions[name.text] = builder.finish()
+
+    def _parse_block(self, fb: _FunctionBuilder) -> None:
+        self._expect("{")
+        while not self._accept("}"):
+            self._parse_statement(fb)
+
+    def _parse_statement(self, fb: _FunctionBuilder) -> None:
+        token = self._peek()
+        if token is None:
+            raise MiniCError("unexpected end of input in block")
+
+        if token.text == "let":
+            self._next()
+            name = self._next().text
+            fb.declare(name)
+            self._expect("=")
+            value = self._parse_expr(fb)
+            self._expect(";")
+            self._emit_assign(fb, name, value)
+        elif token.text == "if":
+            self._next()
+            cond = self._parse_expr(fb)
+            not_cond = fb.temp()
+            zero = fb.temp()
+            fb.emit(Const(zero, 0))
+            fb.emit(BinOp("eq", not_cond, cond, zero))
+            skip_then = fb.emit(Branch(not_cond, "@?"))
+            self._parse_block(fb)
+            if self._accept("else"):
+                skip_else = fb.emit(Jump("@?"))
+                fb.patch_jump(skip_then, len(fb.body))
+                self._parse_block(fb)
+                fb.patch_jump(skip_else, len(fb.body))
+            else:
+                fb.patch_jump(skip_then, len(fb.body))
+        elif token.text == "while":
+            self._next()
+            loop_top = len(fb.body)
+            cond = self._parse_expr(fb)
+            not_cond = fb.temp()
+            zero = fb.temp()
+            fb.emit(Const(zero, 0))
+            fb.emit(BinOp("eq", not_cond, cond, zero))
+            exit_jump = fb.emit(Branch(not_cond, "@?"))
+            self._parse_block(fb)
+            fb.emit(Jump(f"@{loop_top}"))
+            fb.patch_jump(exit_jump, len(fb.body))
+        elif token.text == "return":
+            self._next()
+            if self._accept(";"):
+                fb.emit(Ret(None))
+            else:
+                value = self._parse_expr(fb)
+                self._expect(";")
+                fb.emit(Ret(value))
+        elif token.text == "migrate_point":
+            self._next()
+            tag = ""
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "name":
+                tag = self._next().text
+            self._expect(";")
+            fb.emit(MigrationPointInstr(tag))
+        elif token.text == "store":
+            self._next()
+            self._expect("(")
+            addr = self._parse_expr(fb)
+            self._expect(",")
+            value = self._parse_expr(fb)
+            self._expect(")")
+            self._expect(";")
+            fb.emit(Store(value, addr))
+        elif token.kind == "name":
+            name = self._next().text
+            fb.require(name)
+            self._expect("=")
+            value = self._parse_expr(fb)
+            self._expect(";")
+            self._emit_assign(fb, name, value)
+        else:
+            raise MiniCError(f"unexpected token {token.text!r} in block")
+
+    def _emit_assign(self, fb: _FunctionBuilder, name: str, source_var: str) -> None:
+        # Copy via `name = source + 0` (the IR has no Move).
+        zero = fb.temp()
+        fb.emit(Const(zero, 0))
+        fb.emit(BinOp("add", name, source_var, zero))
+
+    # -- expressions (each returns the variable holding the value) ----------
+    _COMPARISONS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+    _SUMS = {"+": "add", "-": "sub"}
+    _PRODUCTS = {"*": "mul", "/": "div", "%": "mod"}
+
+    def _parse_expr(self, fb: _FunctionBuilder) -> str:
+        left = self._parse_sum(fb)
+        token = self._peek()
+        if token is not None and token.text in self._COMPARISONS:
+            op = self._next().text
+            right = self._parse_sum(fb)
+            out = fb.temp()
+            fb.emit(BinOp(self._COMPARISONS[op], out, left, right))
+            return out
+        return left
+
+    def _parse_sum(self, fb: _FunctionBuilder) -> str:
+        left = self._parse_product(fb)
+        while True:
+            token = self._peek()
+            if token is None or token.text not in self._SUMS:
+                return left
+            op = self._next().text
+            right = self._parse_product(fb)
+            out = fb.temp()
+            fb.emit(BinOp(self._SUMS[op], out, left, right))
+            left = out
+
+    def _parse_product(self, fb: _FunctionBuilder) -> str:
+        left = self._parse_atom(fb)
+        while True:
+            token = self._peek()
+            if token is None or token.text not in self._PRODUCTS:
+                return left
+            op = self._next().text
+            right = self._parse_atom(fb)
+            out = fb.temp()
+            fb.emit(BinOp(self._PRODUCTS[op], out, left, right))
+            left = out
+
+    def _parse_atom(self, fb: _FunctionBuilder) -> str:
+        token = self._next()
+        if token.text == "(":
+            value = self._parse_expr(fb)
+            self._expect(")")
+            return value
+        if token.text == "-":
+            value = self._parse_atom(fb)
+            zero = fb.temp()
+            out = fb.temp()
+            fb.emit(Const(zero, 0))
+            fb.emit(BinOp("sub", out, zero, value))
+            return out
+        if token.text == "load":
+            self._expect("(")
+            addr = self._parse_expr(fb)
+            self._expect(")")
+            out = fb.temp()
+            fb.emit(Load(out, addr))
+            return out
+        if token.kind == "number":
+            out = fb.temp()
+            fb.emit(Const(out, int(token.text)))
+            return out
+        if token.kind == "name":
+            if self._accept("("):
+                args: list[str] = []
+                if not self._accept(")"):
+                    while True:
+                        args.append(self._parse_expr(fb))
+                        if self._accept(")"):
+                            break
+                        self._expect(",")
+                out = fb.temp()
+                fb.emit(Call(out, token.text, tuple(args)))
+                return out
+            fb.require(token.text)
+            return token.text
+        raise MiniCError(f"unexpected token {token.text!r} in expression")
+
+
+# -- public API --------------------------------------------------------------
+def parse_minic(source: str) -> Program:
+    """Parse MiniC source into a VM program (entry = first function)."""
+    return _Parser(_lex(source), source).parse_program()
+
+
+def compile_minic(source: str):
+    """Parse and compile MiniC source; returns a
+    :class:`~repro.popcorn.vm.CompiledProgram` ready for the VM."""
+    from repro.popcorn.vm import compile_program
+
+    program = parse_minic(source)
+    # Validate call targets now that every function is known.
+    for fn in program.functions.values():
+        for instr in fn.body:
+            if isinstance(instr, Call) and instr.function not in program.functions:
+                raise MiniCError(
+                    f"{fn.name}: call to undefined function {instr.function!r}"
+                )
+    return compile_program(program)

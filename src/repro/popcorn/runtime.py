@@ -1,0 +1,156 @@
+"""The Popcorn run-time library model: cross-ISA thread migration.
+
+Given a multi-ISA binary, its liveness metadata, and the platform model,
+:class:`PopcornRuntime` migrates a thread between the x86 and ARM
+servers: it transforms the thread's machine state (consuming CPU on the
+source), ships the transformed state over Ethernet, and eagerly moves
+the thread's dirty working set through the DSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.platform import HeterogeneousPlatform
+from repro.popcorn.binary import MultiISABinary
+from repro.popcorn.dsm import DSM
+from repro.popcorn.migration_points import LivenessMetadata
+from repro.popcorn.state import MachineState, StateTransformer, TransformError
+from repro.sim import Event, Tracer
+from repro.types import Target
+
+__all__ = ["PopcornThread", "PopcornRuntime", "MigrationError"]
+
+
+class MigrationError(Exception):
+    """Raised when a requested migration is impossible."""
+
+
+@dataclass
+class PopcornThread:
+    """A thread of a multi-ISA process, pinned to one node at a time."""
+
+    thread_id: int
+    binary: MultiISABinary
+    state: MachineState
+    node: Target = Target.X86
+    #: Addresses of pages this thread has dirtied since the last migration.
+    dirty_addresses: list[int] = field(default_factory=list)
+    migration_count: int = 0
+
+    @property
+    def isa(self) -> str:
+        return self.state.isa
+
+
+class PopcornRuntime:
+    """Executes cross-ISA migrations on the platform model."""
+
+    def __init__(
+        self,
+        platform: HeterogeneousPlatform,
+        metadata: LivenessMetadata,
+        dsm: Optional[DSM] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.platform = platform
+        self.transformer = StateTransformer(metadata)
+        self.dsm = dsm
+        self.tracer = tracer or platform.tracer
+        self._next_thread_id = 1
+
+    def spawn_thread(
+        self, binary: MultiISABinary, state: MachineState, node: Target = Target.X86
+    ) -> PopcornThread:
+        """Register a new thread running ``binary`` at ``state`` on ``node``."""
+        if node is Target.FPGA:
+            raise MigrationError("threads run on CPUs; FPGA executes kernels")
+        if not binary.supports(state.isa):
+            raise MigrationError(
+                f"binary {binary.name!r} has no image for ISA {state.isa!r}"
+            )
+        if state.isa != node.isa:
+            raise MigrationError(
+                f"state is laid out for {state.isa!r} but node is {node.isa!r}"
+            )
+        thread = PopcornThread(
+            thread_id=self._next_thread_id, binary=binary, state=state, node=node
+        )
+        self._next_thread_id += 1
+        return thread
+
+    # -- migration --------------------------------------------------------
+    def migrate(self, thread: PopcornThread, to: Target) -> Event:
+        """Migrate ``thread`` to node ``to``; fires with the thread when done.
+
+        Steps (each consuming simulated time):
+          1. state transformation on the source CPU;
+          2. transformed state shipped over Ethernet;
+          3. dirty working-set pages pushed through the DSM (if present).
+        """
+        if to is Target.FPGA:
+            raise MigrationError(
+                "use the XRT layer for hardware migration; Popcorn handles CPUs"
+            )
+        if to is thread.node:
+            done = self.platform.sim.event()
+            done.succeed(thread)
+            return done
+        to_isa = to.isa
+        if not thread.binary.supports(to_isa):
+            raise MigrationError(
+                f"binary {thread.binary.name!r} has no image for {to_isa!r}"
+            )
+
+        source_cluster = self.platform.cluster(thread.node)
+        try:
+            new_state = self.transformer.transform(thread.state, to_isa)
+        except TransformError as exc:
+            raise MigrationError(f"state transformation failed: {exc}") from exc
+        transform_cost = self.transformer.transform_cost_seconds(thread.state)
+        state_bytes = thread.state.size_bytes()
+        done = self.platform.sim.event()
+        source_node, dest_node = thread.node, to
+
+        def protocol():
+            yield source_cluster.execute(
+                transform_cost, tag=("popcorn-transform", thread.thread_id)
+            )
+            yield self.platform.ethernet.transfer(
+                state_bytes, tag=("popcorn-state", thread.thread_id)
+            )
+            if self.dsm is not None and thread.dirty_addresses:
+                yield self.dsm.migrate_pages(
+                    str(source_node), str(dest_node), thread.dirty_addresses
+                )
+                thread.dirty_addresses.clear()
+            thread.state = new_state
+            thread.node = dest_node
+            thread.migration_count += 1
+            self.tracer.record(
+                "popcorn",
+                f"thread {thread.thread_id} migrated {source_node} -> {dest_node}",
+                thread=thread.thread_id,
+                source=str(source_node),
+                dest=str(dest_node),
+                state_bytes=state_bytes,
+            )
+            done.succeed(thread)
+
+        self.platform.sim.spawn(protocol())
+        return done
+
+    def migration_overhead_seconds(
+        self, state: MachineState, working_set_bytes: int = 0
+    ) -> float:
+        """Analytic estimate of one migration's wall-clock cost.
+
+        Used by threshold estimation and tests; the simulated cost adds
+        contention on top of this uncontended lower bound.
+        """
+        transform = self.transformer.transform_cost_seconds(state)
+        wire = self.platform.ethernet.ideal_transfer_time(
+            state.size_bytes() + working_set_bytes
+        )
+        return transform + wire

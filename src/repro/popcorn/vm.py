@@ -1,0 +1,550 @@
+"""A migratable virtual machine: execution migration made literal.
+
+The rest of :mod:`repro.popcorn` transforms *snapshots*; this module
+closes the loop. :class:`MigratableVM` executes a small register-based
+IR whose variables are stored **in the ISA-encoded frame layout** —
+raw 8-byte register/stack slots laid out by the same allocator the
+compiler uses. Every read and write of a variable goes through the
+current ISA's location map, so when a thread migrates at a migration
+point (state transformed x86-64 <-> AArch64 mid-execution), any
+transformation bug corrupts the subsequent computation. Tests run real
+programs (factorial, gcd, heap array sums) under arbitrary migration
+schedules and demand bit-identical results to an unmigrated run — the
+paper's transparency guarantee, demonstrated end-to-end.
+
+The IR deliberately mirrors what Xar-Trek supports: self-contained
+functions, calls at function boundaries, explicit migration points
+(inserted where "the program has equivalent memory state across ISAs"),
+and flat shared memory for heap data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.popcorn.migration_points import (
+    CType,
+    LivenessMetadata,
+    MigrationPoint,
+    RegisterLoc,
+    StackLoc,
+    allocate_locations,
+)
+from repro.popcorn.state import Frame, MachineState, StateTransformer
+
+__all__ = [
+    "VMError",
+    "Instr",
+    "Const",
+    "BinOp",
+    "Load",
+    "Store",
+    "Jump",
+    "Branch",
+    "Call",
+    "Ret",
+    "MigrationPointInstr",
+    "Function",
+    "Program",
+    "compile_program",
+    "instrument_program",
+    "MigratableVM",
+]
+
+
+class VMError(Exception):
+    """Raised for ill-formed programs or run-time faults."""
+
+
+# -- the IR -------------------------------------------------------------------
+class Instr:
+    """Base class for IR instructions."""
+
+
+@dataclass(frozen=True)
+class Const(Instr):
+    """``dst = value``"""
+
+    dst: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class BinOp(Instr):
+    """``dst = a <op> b``; operands are variable names."""
+
+    op: str  # add sub mul div mod eq ne lt le gt ge
+    dst: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class Load(Instr):
+    """``dst = heap[addr_var + offset]`` (one 8-byte word)."""
+
+    dst: str
+    addr_var: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Store(Instr):
+    """``heap[addr_var + offset] = src``."""
+
+    src: str
+    addr_var: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Jump(Instr):
+    label: str
+
+
+@dataclass(frozen=True)
+class Branch(Instr):
+    """Jump to ``label`` when ``cond_var`` is non-zero."""
+
+    cond_var: str
+    label: str
+
+
+@dataclass(frozen=True)
+class Call(Instr):
+    """``dst = function(args...)``; args are caller variable names."""
+
+    dst: str
+    function: str
+    args: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Ret(Instr):
+    var: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MigrationPointInstr(Instr):
+    """A cross-ISA-equivalent location; the hook may migrate here."""
+
+    tag: str = ""
+
+
+@dataclass
+class Function:
+    """One self-contained IR function.
+
+    ``variables`` declares every local (params first) with its C type;
+    the compiler allocates each a per-ISA register/stack location.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    variables: tuple[tuple[str, str], ...]  # (name, ctype), params included
+    body: tuple[Instr, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        declared = [name for name, _ in self.variables]
+        if len(set(declared)) != len(declared):
+            raise VMError(f"{self.name}: duplicate variable declarations")
+        missing = [p for p in self.params if p not in declared]
+        if missing:
+            raise VMError(f"{self.name}: params not declared: {missing}")
+
+
+@dataclass
+class Program:
+    """A set of functions with a designated entry point."""
+
+    functions: dict[str, Function]
+    entry: str
+
+    def __post_init__(self):
+        if self.entry not in self.functions:
+            raise VMError(f"entry function {self.entry!r} not defined")
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise VMError(f"undefined function {name!r}") from None
+
+
+# -- compilation: labels, migration points, liveness -----------------------------
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A program plus its liveness metadata and per-function points."""
+
+    program: Program
+    metadata: LivenessMetadata
+    #: (function, pc) -> migration point, for the VM's hook.
+    points_at: dict[tuple[str, int], MigrationPoint]
+    #: Migration point representing each function's entry (for frames
+    #: created by Call).
+    entry_points: dict[str, MigrationPoint]
+
+
+def instrument_program(program: Program, selected: Iterable[str]) -> Program:
+    """Compiler step B at the IR level: insert migration points.
+
+    For each *selected* function (the ones the profiling step marked
+    for cross-target execution), a :class:`MigrationPointInstr` is
+    inserted at entry and before every ``Ret`` — the function-boundary
+    points where memory state is cross-ISA equivalent (Section 3.1).
+    Functions that already start with a migration point are left alone;
+    ``@pc`` jump targets are re-pointed across the insertions.
+
+    Jump targets keep addressing their original instruction, so a
+    branch that jumps *directly to* a ``Ret`` bypasses that return's
+    guard point (it still passed the entry point). This mirrors
+    instrumentation at statement granularity; exhaustive per-edge
+    points would need a control-flow-graph pass.
+    """
+    selected = set(selected)
+    unknown = selected - set(program.functions)
+    if unknown:
+        raise VMError(f"cannot instrument undefined functions: {sorted(unknown)}")
+
+    new_functions: dict[str, Function] = {}
+    for name, fn in program.functions.items():
+        if name not in selected or (
+            fn.body and isinstance(fn.body[0], MigrationPointInstr)
+        ):
+            new_functions[name] = fn
+            continue
+        # Insertion positions in the OLD body: entry (0) + before Rets.
+        insert_before = [0] + [
+            pc for pc, instr in enumerate(fn.body) if isinstance(instr, Ret)
+        ]
+        # old pc -> new pc mapping.
+        shift = [0] * (len(fn.body) + 1)
+        bump = 0
+        for pc in range(len(fn.body) + 1):
+            bump += insert_before.count(pc)
+            shift[pc] = pc + bump
+        new_body: list[Instr] = []
+        for pc, instr in enumerate(fn.body):
+            if pc in insert_before:
+                tag = "entry" if pc == 0 else "return"
+                new_body.append(MigrationPointInstr(tag))
+            if isinstance(instr, (Jump, Branch)) and instr.label.startswith("@"):
+                target = shift[int(instr.label[1:])]
+                instr = (
+                    Jump(f"@{target}")
+                    if isinstance(instr, Jump)
+                    else Branch(instr.cond_var, f"@{target}")
+                )
+            new_body.append(instr)
+        new_functions[name] = Function(
+            name=fn.name,
+            params=fn.params,
+            variables=fn.variables,
+            body=tuple(new_body),
+            labels={label: shift[pc] for label, pc in fn.labels.items()},
+        )
+    return Program(functions=new_functions, entry=program.entry)
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Resolve labels and emit liveness metadata.
+
+    All declared variables are treated as live at every migration point
+    (a conservative liveness analysis — exactly what lets the VM store
+    variables in the point's layout at all times).
+    """
+    points: list[MigrationPoint] = []
+    points_at: dict[tuple[str, int], MigrationPoint] = {}
+    entry_points: dict[str, MigrationPoint] = {}
+    next_id = 1
+    for fn in program.functions.values():
+        # Jump/Branch targets are either "@<pc>" literals or names the
+        # function pre-declared in ``fn.labels``; both resolve lazily in
+        # the VM, so compilation only validates named labels here.
+        for instr in fn.body:
+            if isinstance(instr, (Jump, Branch)):
+                label = instr.label
+                if not label.startswith("@") and label not in fn.labels:
+                    raise VMError(f"{fn.name}: undefined label {label!r}")
+        live_vars = tuple(allocate_locations(list(fn.variables)))
+        entry = MigrationPoint(
+            point_id=next_id, function=fn.name, offset=0, live_vars=live_vars
+        )
+        next_id += 1
+        points.append(entry)
+        entry_points[fn.name] = entry
+        for pc, instr in enumerate(fn.body):
+            if isinstance(instr, MigrationPointInstr):
+                point = MigrationPoint(
+                    point_id=next_id,
+                    function=fn.name,
+                    offset=pc,
+                    live_vars=live_vars,
+                )
+                next_id += 1
+                points.append(point)
+                points_at[(fn.name, pc)] = point
+    return CompiledProgram(
+        program=program,
+        metadata=LivenessMetadata(points),
+        points_at=points_at,
+        entry_points=entry_points,
+    )
+
+
+# -- the VM ------------------------------------------------------------------
+_INT_OPS: dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b if b else _raise_div(),
+    "mod": lambda a, b: a % b if b else _raise_div(),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+}
+
+
+def _raise_div():
+    raise VMError("division by zero")
+
+
+@dataclass
+class _Activation:
+    """VM bookkeeping per frame (the architectural part lives in Frame)."""
+
+    function: str
+    pc: int
+    dst_in_caller: Optional[str]  # where Call writes the return value
+
+
+class MigratableVM:
+    """Executes a compiled program over ISA-encoded machine state.
+
+    ``isa`` selects the current layout; :meth:`migrate` re-encodes every
+    live frame with the state transformer and continues. The
+    ``migration_hook`` is called at every :class:`MigrationPointInstr`
+    with ``(vm, function, tag, point)`` and may call ``vm.migrate(...)``.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        isa: str = "x86_64",
+        heap_words: int = 4096,
+        migration_hook: Optional[Callable] = None,
+        max_steps: int = 1_000_000,
+    ):
+        self.compiled = compiled
+        self.program = compiled.program
+        self.transformer = StateTransformer(compiled.metadata)
+        self.isa = isa
+        self.heap = [0] * heap_words
+        self.migration_hook = migration_hook
+        self.max_steps = max_steps
+        self.steps_executed = 0
+        self.migrations = 0
+        #: Heap words per "page" for migration-traffic accounting (a
+        #: 4 KiB page of 8-byte words).
+        self.page_words = 512
+        self._dirty_pages: set[int] = set()
+        #: Pages whose contents crossed the wire over all migrations —
+        #: what the DSM would have moved for this thread.
+        self.pages_migrated = 0
+        self._frames: list[Frame] = []
+        self._activations: list[_Activation] = []
+        self._types: dict[str, dict[str, str]] = {
+            fn.name: dict(fn.variables) for fn in self.program.functions.values()
+        }
+
+    # -- variable access through the ISA layout ------------------------------
+    def _locate(self, function: str, var: str):
+        point = self.compiled.entry_points[function]
+        for live_var in point.live_vars:
+            if live_var.name == var:
+                return live_var
+        raise VMError(f"{function}: undeclared variable {var!r}")
+
+    def read_var(self, var: str) -> Any:
+        frame = self._frames[-1]
+        live_var = self._locate(frame.function, var)
+        loc = live_var.location(self.isa)
+        if isinstance(loc, RegisterLoc):
+            raw = frame.registers.get(loc.register)
+        else:
+            assert isinstance(loc, StackLoc)
+            raw = frame.stack.get(loc.offset)
+        if raw is None:
+            raise VMError(f"{frame.function}: read of uninitialized {var!r}")
+        return CType.unpack(live_var.ctype, raw)
+
+    def write_var(self, var: str, value: Any) -> None:
+        frame = self._frames[-1]
+        live_var = self._locate(frame.function, var)
+        if not CType.is_float(live_var.ctype):
+            value = int(value)
+            bits = 32 if live_var.ctype == CType.I32 else 64
+            if live_var.ctype != CType.PTR:
+                # Wrap to the declared width (C semantics).
+                value = (value + (1 << (bits - 1))) % (1 << bits) - (1 << (bits - 1))
+            else:
+                value %= 1 << 64
+        raw = CType.pack(live_var.ctype, value)
+        loc = live_var.location(self.isa)
+        if isinstance(loc, RegisterLoc):
+            frame.registers[loc.register] = raw
+        else:
+            assert isinstance(loc, StackLoc)
+            frame.stack[loc.offset] = raw
+
+    # -- frames -----------------------------------------------------------
+    def _push_frame(self, function: str, args: Iterable[Any], dst: Optional[str]):
+        fn = self.program.function(function)
+        args = list(args)
+        if len(args) != len(fn.params):
+            raise VMError(
+                f"{function}: expected {len(fn.params)} args, got {len(args)}"
+            )
+        point = self.compiled.entry_points[function]
+        frame = Frame(function=function, point_id=point.point_id)
+        self._frames.append(frame)
+        self._activations.append(_Activation(function, 0, dst))
+        for param, value in zip(fn.params, args):
+            self.write_var(param, value)
+        # Initialize non-param locals to zero so migration metadata can
+        # always encode every live slot.
+        for name, _ctype in fn.variables:
+            if name not in fn.params:
+                self.write_var(name, 0)
+
+    # -- migration --------------------------------------------------------
+    @property
+    def state(self) -> MachineState:
+        return MachineState(isa=self.isa, frames=self._frames)
+
+    def migrate(self, to_isa: str) -> None:
+        """Re-encode every frame for ``to_isa`` and continue there.
+
+        Also accounts the heap pages dirtied since the last migration:
+        in the full system these are the working-set pages the DSM
+        pushes to the destination (``pages_migrated`` accumulates what
+        would cross the wire).
+        """
+        if to_isa == self.isa:
+            return
+        new_state = self.transformer.transform(self.state, to_isa)
+        self._frames = new_state.frames
+        self.isa = to_isa
+        self.migrations += 1
+        self.pages_migrated += len(self._dirty_pages)
+        self._dirty_pages.clear()
+
+    # -- execution --------------------------------------------------------
+    def run(self, *args: Any) -> Any:
+        """Execute the entry function with ``args``; returns its result."""
+        if self._frames:
+            raise VMError("VM already ran; create a fresh instance")
+        self._push_frame(self.program.entry, args, dst=None)
+        result: Any = None
+        while self._activations:
+            act = self._activations[-1]
+            fn = self.program.function(act.function)
+            if act.pc >= len(fn.body):
+                raise VMError(f"{fn.name}: fell off the end (missing Ret)")
+            self.steps_executed += 1
+            if self.steps_executed > self.max_steps:
+                raise VMError(f"step budget exceeded ({self.max_steps})")
+            instr = fn.body[act.pc]
+            act.pc += 1
+
+            if isinstance(instr, Const):
+                self.write_var(instr.dst, instr.value)
+            elif isinstance(instr, BinOp):
+                a = self.read_var(instr.a)
+                b = self.read_var(instr.b)
+                if instr.op not in _INT_OPS:
+                    raise VMError(f"unknown op {instr.op!r}")
+                if isinstance(a, float) or isinstance(b, float):
+                    value = _float_op(instr.op, a, b)
+                else:
+                    value = _INT_OPS[instr.op](a, b)
+                self.write_var(instr.dst, value)
+            elif isinstance(instr, Load):
+                address = self.read_var(instr.addr_var) + instr.offset
+                self._check_heap(address)
+                self.write_var(instr.dst, self.heap[address])
+            elif isinstance(instr, Store):
+                address = self.read_var(instr.addr_var) + instr.offset
+                self._check_heap(address)
+                self.heap[address] = self.read_var(instr.src)
+                self._dirty_pages.add(address // self.page_words)
+            elif isinstance(instr, Jump):
+                act.pc = self._label(fn, instr.label)
+            elif isinstance(instr, Branch):
+                if self.read_var(instr.cond_var):
+                    act.pc = self._label(fn, instr.label)
+            elif isinstance(instr, Call):
+                values = [self.read_var(a) for a in instr.args]
+                self._push_frame(instr.function, values, dst=instr.dst)
+            elif isinstance(instr, Ret):
+                value = self.read_var(instr.var) if instr.var else None
+                self._frames.pop()
+                finished = self._activations.pop()
+                if self._activations:
+                    if finished.dst_in_caller is not None:
+                        self.write_var(finished.dst_in_caller, value)
+                else:
+                    result = value
+            elif isinstance(instr, MigrationPointInstr):
+                point = self.compiled.points_at.get((fn.name, act.pc - 1))
+                # Sync frame point_id so a transform here uses this
+                # point's (identical) layout.
+                if self.migration_hook is not None and point is not None:
+                    self.migration_hook(self, fn.name, instr.tag, point)
+            else:  # pragma: no cover - closed IR
+                raise VMError(f"unknown instruction {instr!r}")
+        return result
+
+    def _check_heap(self, address: int) -> None:
+        if not 0 <= address < len(self.heap):
+            raise VMError(f"heap access out of bounds: {address}")
+
+    @staticmethod
+    def _label(fn: Function, label: str) -> int:
+        # Labels are "@<pc>" literals (resolved positions) or named
+        # entries in fn.labels.
+        if label.startswith("@"):
+            try:
+                target = int(label[1:])
+            except ValueError:
+                raise VMError(f"{fn.name}: bad label {label!r}") from None
+        else:
+            if label not in fn.labels:
+                raise VMError(f"{fn.name}: undefined label {label!r}")
+            target = fn.labels[label]
+        if not 0 <= target <= len(fn.body):
+            raise VMError(f"{fn.name}: label {label!r} out of range")
+        return target
+
+
+def _float_op(op: str, a: float, b: float) -> float:
+    table: dict[str, Callable[[float, float], float]] = {
+        "add": lambda x, y: x + y,
+        "sub": lambda x, y: x - y,
+        "mul": lambda x, y: x * y,
+        "div": lambda x, y: x / y,
+        "eq": lambda x, y: float(x == y),
+        "ne": lambda x, y: float(x != y),
+        "lt": lambda x, y: float(x < y),
+        "le": lambda x, y: float(x <= y),
+        "gt": lambda x, y: float(x > y),
+        "ge": lambda x, y: float(x >= y),
+    }
+    if op not in table:
+        raise VMError(f"op {op!r} unsupported for floats")
+    return table[op](a, b)

@@ -1,0 +1,226 @@
+"""Deterministic discrete-event simulation kernel.
+
+The engine is a small, dependency-free event loop in the spirit of SimPy:
+a :class:`Simulator` owns a priority queue of timestamped events, and
+generator-based processes (see :mod:`repro.sim.process`) advance by
+yielding events. Determinism is guaranteed by breaking timestamp ties
+with a monotonically increasing sequence number, so two simulations with
+the same seed replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. re-triggering)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed`
+    or :meth:`fail` is called, and is *processed* after the simulator has
+    run its callbacks. Processes wait on events by yielding them.
+    """
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = Event.PENDING
+        self._value: Any = None
+        self._ok = True
+        #: A failed event whose exception was consumed (e.g. by a waiting
+        #: process or an AnyOf) is "defused" and will not crash the run.
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = ok
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._enqueue(self.sim.now, self)
+
+    def _process(self) -> None:
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self.defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self._state} at {id(self):#x}>"
+
+
+class _Timeout(Event):
+    """An event that triggers itself after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._enqueue(sim.now + delay, self)
+
+
+class Simulator:
+    """The event loop: owns simulated time and the pending-event queue."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process = None  # set by Process while running
+
+    # -- scheduling primitives ----------------------------------------------
+    def _enqueue(self, at: float, event: Event) -> None:
+        heapq.heappush(self._queue, (at, next(self._seq), event))
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return _Timeout(self, delay, value)
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Event:
+        """Run ``fn`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self.now})")
+        ev = _Timeout(self, when - self.now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], Any]) -> Event:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def spawn(self, generator) -> "Process":
+        """Start a new process from a generator (see :mod:`.process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.process import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.process import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- execution -----------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or ``None`` if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty queue")
+        at, _seq, event = heapq.heappop(self._queue)
+        self.now = at
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        When ``until`` is given, time is advanced to exactly ``until``
+        even if the last event fires earlier.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the queue drains first.
+        """
+        event.defused = True
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError("simulation ended before event triggered")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

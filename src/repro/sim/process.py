@@ -1,0 +1,167 @@
+"""Generator-based simulation processes and event combinators.
+
+A process is an ordinary Python generator that yields
+:class:`~repro.sim.engine.Event` objects; the process resumes when the
+yielded event triggers, receiving the event's value at the yield point
+(or the event's exception thrown in, if it failed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
+
+__all__ = ["Process", "AllOf", "AnyOf"]
+
+
+class Process(Event):
+    """A running simulation process; also an event that fires on exit.
+
+    The process-as-event value is the generator's return value, so other
+    processes can wait for completion with ``result = yield proc``.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"Process needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume for the first time at the current instant.
+        boot = sim.event()
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        ev = self.sim.event()
+        ev.callbacks.append(lambda _ev: self._step(Interrupt(cause), as_exception=True))
+        ev.succeed()
+
+    # -- internal stepping ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, as_exception=False)
+        else:
+            event.defused = True
+            self._step(event.value, as_exception=True)
+
+    def _step(self, value: Any, as_exception: bool) -> None:
+        if not self.is_alive:
+            # A stale callback after the process already finished
+            # (e.g. interrupted right as its event fired).
+            return
+        prev, self.sim._active_process = self.sim._active_process, self
+        try:
+            if as_exception:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = prev
+
+        if not isinstance(target, Event):
+            exc = SimulationError(f"process yielded a non-event: {target!r}")
+            self.sim.call_in(0, lambda: self._step(exc, as_exception=True))
+            return
+        if target.processed:
+            # Already-processed events resume the process immediately
+            # (at the current instant, preserving event ordering).
+            ev = self.sim.event()
+            ev.callbacks.append(self._resume_from(target))
+            ev.succeed()
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def _resume_from(self, target: Event):
+        def callback(_ev: Event) -> None:
+            self._resume(target)
+
+        return callback
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: waits on a set of events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("events from different simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_event(ev)
+            else:
+                ev.callbacks.append(self._on_event)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _on_event(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every event has triggered; fails fast on failure."""
+
+    __slots__ = ()
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one event triggers (or fails)."""
+
+    __slots__ = ()
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,122 @@
+"""Shared-resource primitives for simulation processes.
+
+:class:`Resource` is a counted semaphore with FIFO queuing (e.g. FPGA
+compute units); :class:`Store` is a FIFO object queue used for
+message-passing between processes (e.g. the scheduler's socket).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    # Support `with resource.request() as req:` inside process generators.
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted, FIFO-fair resource with ``capacity`` concurrent users."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: list[_Request] = []
+        self._waiting: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current users."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Return an event that triggers once the resource is acquired."""
+        req = _Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Release a previously granted (or still-queued) request."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass  # releasing twice is a harmless no-op
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            self._users.append(req)
+            req.succeed(req)
+
+
+class Store:
+    """Unbounded (or bounded) FIFO queue of Python objects."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that triggers once ``item`` is enqueued."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._balance()
+        return ev
+
+    def get(self) -> Event:
+        """Return an event whose value is the next item."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._balance()
+        return ev
+
+    def _balance(self) -> None:
+        # Admit pending puts while there is room.
+        while self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed()
+        # Serve pending gets while there are items.
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+            # Serving a get may free room for a blocked put.
+            while self._putters and len(self.items) < self.capacity:
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
+                put_ev.succeed()

@@ -1,0 +1,168 @@
+"""Digit recognition: K-nearest-neighbours on 196-bit digit bitmaps.
+
+Mirrors Rosetta's digit-recognition benchmark: each handwritten digit is
+a 14x14 binary bitmap packed into 196 bits; classification is KNN with
+Hamming distance against a labelled training set, majority vote, ties
+broken by total distance. The *selected function* is
+:func:`classify` — the full KNN over the test set, which Rosetta's HLS
+version implements as a single hardware kernel.
+
+MNIST is not shipped here; :func:`generate_dataset` synthesizes a
+deterministic dataset from ten structured prototype glyphs with
+bit-flip noise, which preserves the kernel's compute shape (distance
+computations dominate) and gives a measurable accuracy target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DIGIT_BITS",
+    "DigitDataset",
+    "generate_dataset",
+    "hamming_distance",
+    "classify",
+    "accuracy",
+]
+
+#: Bits per digit bitmap (14 x 14), as in Rosetta.
+DIGIT_BITS = 196
+_SIDE = 14
+
+
+@dataclass(frozen=True)
+class DigitDataset:
+    """Packed training and test sets.
+
+    ``train`` / ``test`` are ``(n, 196)`` uint8 arrays of 0/1 bits;
+    labels are ``(n,)`` int arrays in ``0..9``.
+    """
+
+    train: np.ndarray
+    train_labels: np.ndarray
+    test: np.ndarray
+    test_labels: np.ndarray
+
+    def __post_init__(self):
+        for bits in (self.train, self.test):
+            if bits.ndim != 2 or bits.shape[1] != DIGIT_BITS:
+                raise ValueError(f"expected (n, {DIGIT_BITS}) bit arrays")
+        if len(self.train) != len(self.train_labels):
+            raise ValueError("train/labels length mismatch")
+        if len(self.test) != len(self.test_labels):
+            raise ValueError("test/labels length mismatch")
+
+    @property
+    def bytes_packed(self) -> int:
+        """Wire size with bitmaps packed to 32 bytes each (as in Rosetta)."""
+        return 32 * (len(self.train) + len(self.test))
+
+
+def _prototype_glyphs(rng: np.random.Generator) -> np.ndarray:
+    """Ten distinct 14x14 glyphs built from strokes, not pure noise.
+
+    Each digit gets a unique combination of horizontal/vertical strokes
+    and a diagonal, so prototypes differ in >= ~40 bits pairwise.
+    """
+    glyphs = np.zeros((10, _SIDE, _SIDE), dtype=np.uint8)
+    for digit in range(10):
+        glyph = glyphs[digit]
+        # Vertical strokes at digit-dependent columns.
+        glyph[:, 2 + (digit % 4) * 3] = 1
+        if digit % 2:
+            glyph[:, 11 - (digit % 3) * 2] = 1
+        # Horizontal strokes at digit-dependent rows.
+        glyph[1 + (digit % 5) * 2, :] = 1
+        if digit >= 5:
+            glyph[12 - (digit % 4), :] = 1
+        # A diagonal for odd structure.
+        if digit % 3 == 0:
+            idx = np.arange(_SIDE)
+            glyph[idx, idx] = 1
+        # Sprinkle a few digit-specific pixels for extra separation.
+        extra = rng.integers(0, _SIDE, size=(6, 2))
+        glyph[extra[:, 0], extra[:, 1]] = 1
+    return glyphs.reshape(10, DIGIT_BITS)
+
+
+def generate_dataset(
+    n_train: int,
+    n_test: int,
+    seed: int = 0,
+    noise_bits: int = 12,
+) -> DigitDataset:
+    """A deterministic synthetic dataset.
+
+    Every sample is a prototype with ``noise_bits`` random bits flipped;
+    at 12/196 flips, same-class samples stay far closer than the
+    >= ~40-bit prototype separation, so KNN accuracy is high but not
+    trivially 100%.
+    """
+    rng = np.random.default_rng(seed)
+    prototypes = _prototype_glyphs(rng)
+
+    def make_split(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, 10, size=n)
+        bits = prototypes[labels].copy()
+        for i in range(n):
+            flips = rng.choice(DIGIT_BITS, size=noise_bits, replace=False)
+            bits[i, flips] ^= 1
+        return bits.astype(np.uint8), labels.astype(np.int64)
+
+    train, train_labels = make_split(n_train)
+    test, test_labels = make_split(n_test)
+    return DigitDataset(train, train_labels, test, test_labels)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between bit matrices: ``(len(a), len(b))``."""
+    # XOR-popcount via a dot-product identity on 0/1 vectors:
+    # d(a,b) = sum(a) + sum(b) - 2 a.b
+    a16 = a.astype(np.int16)
+    b16 = b.astype(np.int16)
+    return a16.sum(axis=1)[:, None] + b16.sum(axis=1)[None, :] - 2 * (a16 @ b16.T)
+
+
+def classify(
+    test: np.ndarray,
+    train: np.ndarray,
+    train_labels: np.ndarray,
+    k: int = 3,
+) -> np.ndarray:
+    """KNN-classify every test bitmap; the migrated kernel.
+
+    Majority vote over the ``k`` nearest training samples; ties broken
+    by the smaller summed distance, then by the smaller digit (fully
+    deterministic, target-independent).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    distances = hamming_distance(test, train)
+    nearest = np.argsort(distances, axis=1, kind="stable")[:, :k]
+    predictions = np.empty(len(test), dtype=np.int64)
+    for i in range(len(test)):
+        votes = train_labels[nearest[i]]
+        dists = distances[i, nearest[i]]
+        counts = np.zeros(10, dtype=np.int64)
+        dist_sums = np.zeros(10, dtype=np.int64)
+        for label, dist in zip(votes, dists):
+            counts[label] += 1
+            dist_sums[label] += dist
+        best = max(
+            range(10),
+            key=lambda d: (counts[d], -dist_sums[d] if counts[d] else 0, -d),
+        )
+        predictions[i] = best
+    return predictions
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    if len(predictions) != len(labels):
+        raise ValueError("length mismatch")
+    if len(labels) == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))

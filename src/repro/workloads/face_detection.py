@@ -1,0 +1,186 @@
+"""Face detection: an integral-image cascade in the Rosetta mold.
+
+The Rosetta face-detection benchmark is a Viola-Jones pipeline: integral
+image, Haar-like rectangle features, a cascade of classifier stages, and
+a sliding window over several scales. This is a faithful small-scale
+version of that pipeline, vectorized over all windows per scale, with a
+two-stage cascade tuned for the synthetic faces of
+:mod:`repro.workloads.images`. The *selected function* that migrates in
+Xar-Trek is :func:`detect_faces` — the whole scan, which Vitis would
+synthesize as one hardware kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.images import FACE_SIZE
+
+__all__ = ["Detection", "integral_image", "detect_faces", "match_detections"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected face window."""
+
+    x: int
+    y: int
+    size: int
+    score: float
+
+
+def integral_image(image: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero top row/left column.
+
+    ``sat[y1, x1] - sat[y0, x1] - sat[y1, x0] + sat[y0, x0]`` is the sum
+    of pixels in ``[y0:y1, x0:x1]``.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    sat = np.zeros((image.shape[0] + 1, image.shape[1] + 1), dtype=np.float64)
+    np.cumsum(np.cumsum(image, axis=0, dtype=np.float64), axis=1, out=sat[1:, 1:])
+    return sat
+
+
+def _window_band_means(
+    sat: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    size: int,
+    row0: float,
+    row1: float,
+    col0: float = 0.0,
+    col1: float = 1.0,
+) -> np.ndarray:
+    """Mean intensity of a fractional sub-rectangle of every window.
+
+    ``xs``/``ys`` are window top-left grids; the band spans rows
+    ``[row0, row1)`` and columns ``[col0, col1)`` as fractions of the
+    window size. One vectorized SAT lookup per corner.
+    """
+    y0 = ys + np.intp(row0 * size)
+    y1 = ys + np.intp(row1 * size)
+    x0 = xs + np.intp(col0 * size)
+    x1 = xs + np.intp(col1 * size)
+    area = (y1 - y0) * (x1 - x0)
+    total = sat[y1, x1] - sat[y0, x1] - sat[y1, x0] + sat[y0, x0]
+    return total / np.maximum(area, 1)
+
+
+# The two-stage cascade: stage 1 is the cheap eye-band contrast, stage 2
+# adds forehead and mouth contrasts. Thresholds are in intensity units
+# and were chosen so the synthetic template passes with margin while
+# uniform-noise background fails both stages.
+_STAGE1_MIN_CONTRAST = 45.0
+_STAGE2_MIN_FOREHEAD = 45.0
+_STAGE2_MIN_MOUTH = 25.0
+_STAGE2_MIN_CHIN = 45.0
+
+
+def detect_faces(
+    image: np.ndarray,
+    scales: tuple[float, ...] = (1.0, 1.5, 2.0),
+    stride: int = 2,
+) -> list[Detection]:
+    """Scan ``image`` for faces at several scales; the migrated kernel.
+
+    Pure function of its inputs: running it "on x86", "on ARM", or "on
+    the FPGA" in the simulation yields the same detections (tests assert
+    this), as required for transparent migration.
+    """
+    sat = integral_image(image)
+    height, width = image.shape
+    raw: list[Detection] = []
+    for scale in scales:
+        size = int(round(FACE_SIZE * scale))
+        if size > min(height, width):
+            continue
+        xs_1d = np.arange(0, width - size + 1, stride, dtype=np.intp)
+        ys_1d = np.arange(0, height - size + 1, stride, dtype=np.intp)
+        if not len(xs_1d) or not len(ys_1d):
+            continue
+        xs, ys = np.meshgrid(xs_1d, ys_1d)
+        # Band fractions mirror face_template's layout.
+        eyes = _window_band_means(sat, xs, ys, size, 0.25, 5 / 12)
+        cheeks = _window_band_means(sat, xs, ys, size, 5 / 12, 2 / 3)
+        # Stage 1: cheek band must be much brighter than the eye band.
+        stage1 = (cheeks - eyes) >= _STAGE1_MIN_CONTRAST
+        if not stage1.any():
+            continue
+        forehead = _window_band_means(sat, xs, ys, size, 0.0, 0.25)
+        mouth = _window_band_means(sat, xs, ys, size, 2 / 3, 5 / 6, 0.25, 0.75)
+        chin = _window_band_means(sat, xs, ys, size, 5 / 6, 1.0)
+        stage2 = (
+            stage1
+            & ((forehead - eyes) >= _STAGE2_MIN_FOREHEAD)
+            & ((cheeks - mouth) >= _STAGE2_MIN_MOUTH)
+            & ((chin - eyes) >= _STAGE2_MIN_CHIN)
+        )
+        # Score by the weakest margin: a misaligned or wrong-scale window
+        # may ace one contrast but never all of them, so NMS keeps the
+        # best-aligned candidate.
+        score = np.minimum(
+            np.minimum(cheeks - eyes, forehead - eyes),
+            np.minimum((cheeks - mouth) * 2.0, chin - eyes),
+        )
+        for wy, wx in zip(*np.nonzero(stage2)):
+            raw.append(
+                Detection(
+                    x=int(xs_1d[wx]), y=int(ys_1d[wy]), size=size,
+                    score=float(score[wy, wx]),
+                )
+            )
+    return _non_max_suppression(raw)
+
+
+def _overlaps(a: Detection, b: Detection) -> bool:
+    """Same-face test for NMS: IoU above 0.2 or center containment.
+
+    Center containment suppresses the cross-scale artefacts where a
+    larger face's interior bands re-trigger a smaller, offset window.
+    """
+    x0 = max(a.x, b.x)
+    y0 = max(a.y, b.y)
+    x1 = min(a.x + a.size, b.x + b.size)
+    y1 = min(a.y + a.size, b.y + b.size)
+    inter = max(0, x1 - x0) * max(0, y1 - y0)
+    union = a.size**2 + b.size**2 - inter
+    if union > 0 and inter / union > 0.2:
+        return True
+    for inner, outer in ((a, b), (b, a)):
+        cx = inner.x + inner.size / 2
+        cy = inner.y + inner.size / 2
+        if outer.x <= cx <= outer.x + outer.size and outer.y <= cy <= outer.y + outer.size:
+            return True
+    return False
+
+
+def _non_max_suppression(detections: list[Detection]) -> list[Detection]:
+    kept: list[Detection] = []
+    for det in sorted(detections, key=lambda d: -d.score):
+        if not any(_overlaps(det, existing) for existing in kept):
+            kept.append(det)
+    return sorted(kept, key=lambda d: (d.y, d.x))
+
+
+def match_detections(
+    detections: list[Detection],
+    truths: list[tuple[int, int, int]],
+    tolerance: int = 6,
+) -> int:
+    """How many planted faces were found (each truth matched at most once)."""
+    remaining = list(detections)
+    matched = 0
+    for tx, ty, tsize in truths:
+        for det in remaining:
+            if (
+                abs(det.x - tx) <= tolerance
+                and abs(det.y - ty) <= tolerance
+                and abs(det.size - tsize) <= max(tolerance, tsize // 4)
+            ):
+                remaining.remove(det)
+                matched += 1
+                break
+    return matched

@@ -1,0 +1,142 @@
+"""PGM images and synthetic face-image generation.
+
+The paper's throughput experiments read WIDER-dataset images converted
+to PGM (Section 4.2). WIDER is not redistributable here, so we generate
+deterministic synthetic grayscale images with planted face patterns the
+detector can actually find; only the image *dimensions and count* affect
+the timing model, and the functional pipeline (PGM decode -> integral
+image -> cascade) is identical.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+__all__ = [
+    "PGMError",
+    "encode_pgm",
+    "decode_pgm",
+    "FACE_SIZE",
+    "face_template",
+    "generate_face_image",
+]
+
+
+class PGMError(Exception):
+    """Raised for malformed PGM data."""
+
+
+def encode_pgm(image: np.ndarray) -> bytes:
+    """Encode a 2-D uint8 array as binary PGM (P5)."""
+    if image.ndim != 2:
+        raise PGMError(f"PGM images are 2-D, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise PGMError(f"PGM images are uint8, got {image.dtype}")
+    height, width = image.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    return header + image.tobytes()
+
+
+def decode_pgm(data: bytes) -> np.ndarray:
+    """Decode binary PGM (P5) into a 2-D uint8 array."""
+    stream = io.BytesIO(data)
+
+    def next_token() -> bytes:
+        token = b""
+        while True:
+            ch = stream.read(1)
+            if not ch:
+                raise PGMError("truncated PGM header")
+            if ch.isspace():
+                if token:
+                    return token
+                continue
+            if ch == b"#":  # comment to end of line
+                while ch not in (b"\n", b""):
+                    ch = stream.read(1)
+                continue
+            token += ch
+
+    magic = next_token()
+    if magic != b"P5":
+        raise PGMError(f"not a binary PGM (magic {magic!r})")
+    width = int(next_token())
+    height = int(next_token())
+    maxval = int(next_token())
+    if maxval != 255:
+        raise PGMError(f"only maxval 255 supported, got {maxval}")
+    payload = stream.read(width * height)
+    if len(payload) != width * height:
+        raise PGMError("truncated PGM payload")
+    return np.frombuffer(payload, dtype=np.uint8).reshape(height, width).copy()
+
+
+#: Base size (pixels) of the face pattern and detector window.
+FACE_SIZE = 24
+
+
+def face_template(size: int = FACE_SIZE) -> np.ndarray:
+    """The canonical synthetic face: light skin, dark eye band, dark mouth.
+
+    The detector's Haar-like features (see
+    :mod:`repro.workloads.face_detection`) key on exactly these
+    contrasts, mirroring how Viola-Jones features key on real faces.
+    """
+    face = np.full((size, size), 185, dtype=np.uint8)
+    rows = np.arange(size)
+    eye_band = (rows >= size // 4) & (rows < size * 5 // 12)
+    mouth_band = (rows >= size * 2 // 3) & (rows < size * 5 // 6)
+    face[eye_band, :] = 55
+    face[mouth_band, size // 4 : size * 3 // 4] = 80
+    return face
+
+
+def generate_face_image(
+    width: int,
+    height: int,
+    n_faces: int,
+    rng: np.random.Generator,
+    noise_std: float = 8.0,
+    scales: tuple[float, ...] = (1.0,),
+) -> tuple[np.ndarray, list[tuple[int, int, int]]]:
+    """A synthetic grayscale image with ``n_faces`` planted faces.
+
+    Returns ``(image, truths)`` where each truth is ``(x, y, size)`` of
+    a planted face's top-left corner and side length. Faces never
+    overlap; placement, scale, and noise are all drawn from ``rng``.
+    """
+    image = rng.integers(100, 160, size=(height, width), dtype=np.int64)
+    truths: list[tuple[int, int, int]] = []
+    occupied = np.zeros((height, width), dtype=bool)
+    attempts = 0
+    while len(truths) < n_faces and attempts < 200 * max(1, n_faces):
+        attempts += 1
+        scale = float(rng.choice(scales))
+        size = int(round(FACE_SIZE * scale))
+        if size >= min(width, height):
+            continue
+        x = int(rng.integers(0, width - size))
+        y = int(rng.integers(0, height - size))
+        pad = 4
+        y0, y1 = max(0, y - pad), min(height, y + size + pad)
+        x0, x1 = max(0, x - pad), min(width, x + size + pad)
+        if occupied[y0:y1, x0:x1].any():
+            continue
+        template = face_template(FACE_SIZE).astype(np.float64)
+        if size != FACE_SIZE:
+            template = _resize_nearest(template, size)
+        image[y : y + size, x : x + size] = template
+        occupied[y0:y1, x0:x1] = True
+        truths.append((x, y, size))
+    if noise_std > 0:
+        image = image + rng.normal(0.0, noise_std, size=image.shape)
+    return np.clip(image, 0, 255).astype(np.uint8), truths
+
+
+def _resize_nearest(image: np.ndarray, size: int) -> np.ndarray:
+    """Nearest-neighbour resize of a square image to ``size`` pixels."""
+    src = image.shape[0]
+    idx = np.minimum((np.arange(size) * src) // size, src - 1)
+    return image[np.ix_(idx, idx)]

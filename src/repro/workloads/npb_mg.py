@@ -1,0 +1,155 @@
+"""NPB MG: multigrid V-cycle Poisson solver.
+
+The paper uses NPB MG class B purely as a CPU load generator (Sections
+4.1-4.3): ``n`` simultaneous MG-B instances produce the medium/high x86
+loads. This is a real (reduced-scale) geometric multigrid solver for
+the 3-D Poisson problem ``A u = v`` with periodic boundaries: V-cycles
+of weighted-Jacobi smoothing, smoothed-injection restriction, and
+trilinear prolongation, as in the NPB reference code's structure.
+
+The operator is the 7-point Laplacian stencil ``A u = sum(faces) - 6u``
+(negative semi-definite; the periodic nullspace of constants is handled
+by keeping iterates mean-free, and NPB's charge distribution is zero-
+mean so the system is consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MGClass", "CLASS_B_SMALL", "mg_benchmark", "MGResult", "v_cycle", "residual"]
+
+
+@dataclass(frozen=True)
+class MGClass:
+    """An NPB MG problem class (grid is ``size**3``, periodic)."""
+
+    name: str
+    size: int  # grid points per dimension (power of two)
+    niter: int  # number of V-cycles
+
+    def __post_init__(self):
+        if self.size < 4 or self.size & (self.size - 1):
+            raise ValueError(f"grid size must be a power of two >= 4, got {self.size}")
+
+
+#: MG-B's iteration count (20) on a 32^3 grid instead of 256^3.
+CLASS_B_SMALL = MGClass(name="B-small", size=32, niter=20)
+
+_JACOBI_OMEGA = 0.85
+
+
+def _laplacian(u: np.ndarray) -> np.ndarray:
+    """7-point periodic Laplacian stencil: ``sum(face neighbours) - 6u``."""
+    faces = (
+        np.roll(u, 1, 0) + np.roll(u, -1, 0)
+        + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+        + np.roll(u, 1, 2) + np.roll(u, -1, 2)
+    )
+    return faces - 6.0 * u
+
+
+def residual(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``r = v - A u``."""
+    return v - _laplacian(u)
+
+
+def _smooth(u: np.ndarray, v: np.ndarray, sweeps: int = 1) -> np.ndarray:
+    """Weighted-Jacobi sweeps for ``A u = v`` (diagonal of A is -6)."""
+    for _ in range(sweeps):
+        u = u - (_JACOBI_OMEGA / 6.0) * residual(u, v)
+    return u
+
+
+def _restrict(fine: np.ndarray) -> np.ndarray:
+    """Smoothed injection onto the coarser grid, scaled for the operator.
+
+    Because the same unscaled stencil is used on every level, the
+    coarse-grid operator is 4x "weaker" (grid spacing doubles), so the
+    restricted residual is scaled by 4 to keep the correction equation
+    consistent.
+    """
+    smoothed = fine
+    for axis in range(3):
+        smoothed = 0.5 * smoothed + 0.25 * (
+            np.roll(smoothed, 1, axis) + np.roll(smoothed, -1, axis)
+        )
+    return 4.0 * smoothed[::2, ::2, ::2]
+
+
+def _prolong(coarse: np.ndarray) -> np.ndarray:
+    """Trilinear prolongation to the next finer periodic grid."""
+    n = coarse.shape[0] * 2
+    fine = np.zeros((n, n, n), dtype=coarse.dtype)
+    fine[::2, ::2, ::2] = coarse
+    for axis in range(3):
+        # Midpoints along `axis`, using the already-filled planes.
+        shifted = np.roll(fine, -2, axis)
+        mid = 0.5 * (fine + shifted)
+        dst = [slice(None)] * 3
+        dst[axis] = slice(1, None, 2)
+        src = [slice(None)] * 3
+        src[axis] = slice(0, None, 2)
+        fine[tuple(dst)] = mid[tuple(src)]
+    return fine
+
+
+def v_cycle(u: np.ndarray, v: np.ndarray, min_size: int = 4) -> np.ndarray:
+    """One multigrid V-cycle for ``A u = v``."""
+    if u.shape[0] <= min_size:
+        u = _smooth(u, v, sweeps=20)
+        return u - u.mean()
+    u = _smooth(u, v, sweeps=2)
+    r = residual(u, v)
+    r_coarse = _restrict(r)
+    r_coarse -= r_coarse.mean()  # stay orthogonal to the nullspace
+    e_coarse = v_cycle(np.zeros_like(r_coarse), r_coarse, min_size)
+    u = u + _prolong(e_coarse)
+    u = _smooth(u, v, sweeps=2)
+    return u - u.mean()
+
+
+@dataclass(frozen=True)
+class MGResult:
+    """Outcome: final residual L2 norm and its per-cycle history."""
+
+    final_residual: float
+    initial_residual: float
+    history: tuple[float, ...]
+
+    @property
+    def reduction(self) -> float:
+        if self.initial_residual == 0:
+            return 0.0
+        return self.final_residual / self.initial_residual
+
+
+def _charge_distribution(size: int, seed: int) -> np.ndarray:
+    """NPB-style +1/-1 point charges at random grid sites, zero mean."""
+    rng = np.random.default_rng(seed)
+    v = np.zeros((size, size, size), dtype=np.float64)
+    n_charges = min(10, size)
+    flat = rng.choice(size**3, size=2 * n_charges, replace=False)
+    coords = np.unravel_index(flat, (size, size, size))
+    v[coords[0][:n_charges], coords[1][:n_charges], coords[2][:n_charges]] = 1.0
+    v[coords[0][n_charges:], coords[1][n_charges:], coords[2][n_charges:]] = -1.0
+    return v
+
+
+def mg_benchmark(klass: MGClass = CLASS_B_SMALL, seed: int = 271828) -> MGResult:
+    """The full MG driver: ``niter`` V-cycles on the charge problem."""
+    v = _charge_distribution(klass.size, seed)
+    u = np.zeros_like(v)
+    rms = lambda a: float(np.sqrt(np.mean(a**2)))  # noqa: E731
+    initial = rms(residual(u, v))
+    history: list[float] = []
+    for _ in range(klass.niter):
+        u = v_cycle(u, v)
+        history.append(rms(residual(u, v)))
+    return MGResult(
+        final_residual=history[-1],
+        initial_residual=initial,
+        history=tuple(history),
+    )

@@ -1,0 +1,5 @@
+"""XRT/OpenCL-like host runtime for the simulated accelerator card."""
+
+from repro.xrt.device import Buffer, KernelRun, XRTDevice, XRTError
+
+__all__ = ["Buffer", "KernelRun", "XRTDevice", "XRTError"]

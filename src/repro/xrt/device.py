@@ -1,0 +1,214 @@
+"""XRT-like host API over the simulated FPGA card.
+
+Xar-Trek's hardware migration path uses OpenCL APIs from the Xilinx
+Runtime Library (Section 3.2) to (1) configure the accelerator card,
+(2) manage host<->card data movement, and (3) orchestrate kernel
+execution. :class:`XRTDevice` reproduces that API surface against the
+:class:`~repro.hardware.fpga.FPGADevice` model: configuration goes
+through the device's reconfiguration path, buffers move over the shared
+PCIe link, and kernel runs occupy the kernel's compute unit for the
+latency recorded in the XCLBIN (or a caller-supplied duration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.fpga import FPGADevice
+from repro.hardware.interconnect import Link
+from repro.sim import Event, SimulationError, Simulator, Tracer
+
+__all__ = ["Buffer", "KernelRun", "XRTDevice", "XRTError"]
+
+
+class XRTError(Exception):
+    """Raised for API misuse (unknown kernel, image not loaded, ...)."""
+
+
+@dataclass
+class Buffer:
+    """A device buffer handle (``cl::Buffer`` / ``xrt::bo`` analogue)."""
+
+    buffer_id: int
+    nbytes: int
+    on_device: bool = False
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Completed-run record, for tests and traces."""
+
+    kernel_name: str
+    bytes_in: int
+    bytes_out: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class XRTDevice:
+    """The host-side runtime for one accelerator card."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fpga: FPGADevice,
+        pcie: Link,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.fpga = fpga
+        self.pcie = pcie
+        self.tracer = tracer or Tracer(enabled=False)
+        self._buffer_ids = itertools.count(1)
+        self._loaded_image = None
+        #: In-flight kernel executions (the scheduler must not
+        #: reconfigure under a running kernel).
+        self.active_runs = 0
+        self.completed_runs: list[KernelRun] = []
+        self.failed_runs = 0
+        self._fail_next_runs: dict[str, int] = {}
+
+    # -- fault injection ---------------------------------------------------
+    def inject_run_failures(self, kernel_name: str, count: int = 1) -> None:
+        """Make the next ``count`` runs of ``kernel_name`` fail mid-flight
+        (ECC error, watchdog timeout, ...). Callers are expected to fall
+        back to a CPU target."""
+        if count < 0:
+            raise XRTError("failure count must be non-negative")
+        self._fail_next_runs[kernel_name] = (
+            self._fail_next_runs.get(kernel_name, 0) + count
+        )
+
+    # -- configuration ------------------------------------------------------
+    def load_xclbin(self, image) -> Event:
+        """Program the card with ``image``; free if already loaded.
+
+        ``image`` must satisfy the ``ConfigImage`` protocol (an
+        :class:`~repro.compiler.xclbin.XCLBIN` does).
+        """
+        if self.active_runs and (
+            self.fpga.configured_image is None
+            or self.fpga.configured_image.name != image.name
+        ):
+            raise XRTError("cannot load a different XCLBIN while kernels run")
+        self._loaded_image = image
+        return self.fpga.configure(image)
+
+    @property
+    def ready(self) -> bool:
+        return bool(self.fpga.available_kernels)
+
+    def has_kernel(self, kernel_name: str) -> bool:
+        return self.fpga.has_kernel(kernel_name)
+
+    @property
+    def reconfiguring(self) -> bool:
+        return self.fpga.reconfiguring
+
+    # -- buffers -----------------------------------------------------------
+    def alloc_buffer(self, nbytes: int) -> Buffer:
+        if nbytes < 0:
+            raise XRTError(f"negative buffer size {nbytes}")
+        return Buffer(buffer_id=next(self._buffer_ids), nbytes=nbytes)
+
+    def sync_to_device(self, buffer: Buffer) -> Event:
+        """Host -> card over PCIe (``clEnqueueMigrateMemObjects``)."""
+        done = self.sim.event()
+        transfer = self.pcie.transfer(buffer.nbytes, tag=("xrt-h2d", buffer.buffer_id))
+
+        def mark(_ev: Event) -> None:
+            buffer.on_device = True
+            done.succeed(buffer)
+
+        transfer.callbacks.append(mark)
+        return done
+
+    def sync_from_device(self, buffer: Buffer) -> Event:
+        """Card -> host over PCIe."""
+        if not buffer.on_device:
+            raise XRTError(f"buffer {buffer.buffer_id} is not on the device")
+        done = self.sim.event()
+        transfer = self.pcie.transfer(buffer.nbytes, tag=("xrt-d2h", buffer.buffer_id))
+        transfer.callbacks.append(lambda _ev: done.succeed(buffer))
+        return done
+
+    # -- execution -----------------------------------------------------------
+    def kernel_latency(self, kernel_name: str) -> float:
+        """The synthesized latency recorded in the loaded XCLBIN."""
+        image = self._loaded_image
+        if image is None or not hasattr(image, "kernel"):
+            raise XRTError(f"no XCLBIN with latency info for {kernel_name!r}")
+        return image.kernel(kernel_name).kernel_latency_s
+
+    def run_kernel(
+        self,
+        kernel_name: str,
+        bytes_in: int,
+        bytes_out: int,
+        duration: Optional[float] = None,
+    ) -> Event:
+        """One complete hardware invocation: h2d, execute, d2h.
+
+        ``duration`` overrides the XCLBIN's synthesized latency (the
+        calibrated profiles use this). The event fires with a
+        :class:`KernelRun` record.
+        """
+        if not self.has_kernel(kernel_name):
+            raise XRTError(
+                f"kernel {kernel_name!r} is not loaded "
+                f"(available: {list(self.fpga.available_kernels)})"
+            )
+        if duration is None:
+            duration = self.kernel_latency(kernel_name)
+        done = self.sim.event()
+        started = self.sim.now
+        self.active_runs += 1
+
+        fail_this_run = self._fail_next_runs.get(kernel_name, 0) > 0
+        if fail_this_run:
+            self._fail_next_runs[kernel_name] -= 1
+
+        def body():
+            try:
+                in_buf = self.alloc_buffer(bytes_in)
+                out_buf = self.alloc_buffer(bytes_out)
+                if bytes_in:
+                    yield self.sync_to_device(in_buf)
+                if fail_this_run:
+                    # The fault surfaces partway through the kernel run.
+                    yield self.sim.timeout(duration / 2)
+                    raise SimulationError(f"kernel {kernel_name} run fault")
+                yield self.fpga.execute(kernel_name, duration)
+                out_buf.on_device = True
+                if bytes_out:
+                    yield self.sync_from_device(out_buf)
+            except SimulationError as exc:
+                self.active_runs -= 1
+                self.failed_runs += 1
+                done.fail(XRTError(str(exc)))
+                return
+            self.active_runs -= 1
+            run = KernelRun(
+                kernel_name=kernel_name,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+                started_at=started,
+                finished_at=self.sim.now,
+            )
+            self.completed_runs.append(run)
+            self.tracer.record(
+                "xrt",
+                f"{kernel_name} run complete ({run.duration * 1e3:.2f} ms)",
+                kernel=kernel_name,
+                duration=run.duration,
+            )
+            done.succeed(run)
+
+        self.sim.spawn(body())
+        return done

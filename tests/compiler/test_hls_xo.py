@@ -1,0 +1,125 @@
+"""Unit tests for the HLS estimation model (step D) and XO generation."""
+
+import pytest
+
+from repro.compiler import HLSError, KernelIR, OpCounts, estimate, generate_xo, kernel_ir_for
+from repro.compiler.profiling import SelectedFunction
+from repro.hardware import ALVEO_U50
+from repro.hardware.fpga import FPGAResources, FPGASpec
+
+
+def ir(**overrides):
+    base = dict(
+        name="k",
+        ops=OpCounts(int_add=4, load_store=2),
+        trip_count=10_000,
+    )
+    base.update(overrides)
+    return KernelIR(**base)
+
+
+class TestEstimation:
+    def test_more_ops_cost_more_area(self):
+        small = estimate(ir(ops=OpCounts(int_add=2)))
+        big = estimate(ir(ops=OpCounts(int_add=20)))
+        assert big.resources.lut > small.resources.lut
+
+    def test_unrolling_trades_area_for_latency(self):
+        serial = estimate(ir(unroll=1))
+        parallel = estimate(ir(unroll=8))
+        assert parallel.resources.lut > serial.resources.lut
+        assert parallel.latency_cycles < serial.latency_cycles
+
+    def test_float_ops_consume_dsps(self):
+        report = estimate(ir(ops=OpCounts(float_mul=4, float_add=2)))
+        assert report.resources.dsp == 4 * 3 + 2 * 2
+
+    def test_buffers_consume_memory_blocks(self):
+        none = estimate(ir(buffer_bytes=0))
+        big = estimate(ir(buffer_bytes=10_000_000))
+        assert big.resources.uram > none.resources.uram or big.resources.bram > none.resources.bram
+
+    def test_irregular_access_inflates_ii(self):
+        regular = estimate(ir())
+        irregular = estimate(ir(irregular_access=True))
+        assert irregular.ii > regular.ii
+        assert irregular.latency_cycles > regular.latency_cycles
+
+    def test_latency_seconds_conversion(self):
+        report = estimate(ir())
+        assert report.latency_seconds == pytest.approx(
+            report.latency_cycles / (report.clock_mhz * 1e6)
+        )
+
+    def test_kernel_exceeding_device_rejected(self):
+        tiny_device = FPGASpec(
+            name="tiny",
+            resources=FPGAResources(lut=10_000, ff=20_000, bram=16, dsp=8, uram=0),
+            hbm_bytes=1 << 20,
+        )
+        with pytest.raises(HLSError):
+            estimate(ir(ops=OpCounts(int_mul=100), unroll=8), tiny_device)
+
+    def test_ir_validation(self):
+        with pytest.raises(HLSError):
+            ir(trip_count=0)
+        with pytest.raises(HLSError):
+            ir(unroll=0)
+        with pytest.raises(HLSError):
+            ir(pipeline_ii=0)
+
+
+class TestPaperKernels:
+    def test_all_paper_kernels_have_irs(self):
+        for kernel in (
+            "KNL_HW_CG_A",
+            "KNL_HW_FD320",
+            "KNL_HW_FD640",
+            "KNL_HW_DR500",
+            "KNL_HW_DR200",
+        ):
+            report = estimate(kernel_ir_for(kernel), ALVEO_U50)
+            assert report.resources.fits_in(ALVEO_U50.usable_resources)
+
+    def test_cg_is_irregular(self):
+        assert kernel_ir_for("KNL_HW_CG_A").irregular_access
+        assert not kernel_ir_for("KNL_HW_DR500").irregular_access
+
+    def test_bfs_kernels_derived_from_node_count(self):
+        small = estimate(kernel_ir_for("KNL_HW_BFS1000"))
+        large = estimate(kernel_ir_for("KNL_HW_BFS5000"))
+        assert large.resources.bram + large.resources.uram >= (
+            small.resources.bram + small.resources.uram
+        )
+        assert large.latency_cycles > small.latency_cycles
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            kernel_ir_for("KNL_HW_NOPE")
+        with pytest.raises(KeyError):
+            kernel_ir_for("KNL_HW_BFSxyz")
+
+
+class TestXO:
+    def test_generate_xo_carries_report(self):
+        xo = generate_xo(
+            "digit.2000", SelectedFunction("classify", "KNL_HW_DR200"), ALVEO_U50
+        )
+        assert xo.kernel_name == "KNL_HW_DR200"
+        assert xo.application == "digit.2000"
+        assert xo.size_bytes > 200_000
+        assert xo.kernel_latency_s > 0
+
+    def test_custom_ir_override(self):
+        custom = ir(name="custom")
+        xo = generate_xo(
+            "app", SelectedFunction("f", "whatever"), ALVEO_U50, ir=custom
+        )
+        assert xo.report.kernel_name == "custom"
+
+    def test_bigger_kernels_make_bigger_xos(self):
+        fd = generate_xo("a", SelectedFunction("f", "KNL_HW_FD320"), ALVEO_U50)
+        dr = generate_xo("b", SelectedFunction("g", "KNL_HW_DR200"), ALVEO_U50)
+        assert (dr.size_bytes > fd.size_bytes) == (
+            dr.resources.lut > fd.resources.lut
+        )

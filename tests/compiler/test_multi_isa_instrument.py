@@ -1,0 +1,114 @@
+"""Unit tests for multi-ISA generation (step C) and instrumentation (B)."""
+
+import pytest
+
+from repro.compiler import CodeModel, compile_multi_isa, instrument
+from repro.compiler.instrument import CallSiteKind
+from repro.compiler.profiling import ApplicationSpec, SelectedFunction
+from repro.compiler.sizes import single_isa_size, size_breakdown
+from repro.popcorn import StateTransformer
+
+
+def app_spec(name="app", functions=("kernel",)):
+    return ApplicationSpec(
+        name, tuple(SelectedFunction(f, f"KNL_{f.upper()}") for f in functions)
+    )
+
+
+class TestInstrumentation:
+    def test_inserted_sites_cover_the_contract(self):
+        inst = instrument(app_spec(functions=("f1", "f2")))
+        kinds = [site.kind for site in inst.call_sites]
+        # Registration and configuration first, unregistration last.
+        assert kinds[0] == CallSiteKind.SCHEDULER_REGISTER
+        assert kinds[1] == CallSiteKind.FPGA_CONFIGURE
+        assert kinds[-1] == CallSiteKind.SCHEDULER_UNREGISTER
+        # One dispatch + one threshold update per selected function.
+        assert len(inst.sites_of(CallSiteKind.DISPATCH)) == 2
+        assert len(inst.sites_of(CallSiteKind.THRESHOLD_UPDATE)) == 2
+
+    def test_dispatch_follows_update_per_function(self):
+        inst = instrument(app_spec(functions=("f1",)))
+        kinds = [s.kind for s in inst.call_sites]
+        dispatch = kinds.index(CallSiteKind.DISPATCH)
+        update = kinds.index(CallSiteKind.THRESHOLD_UPDATE)
+        assert dispatch < update
+
+    def test_kernel_lookup(self):
+        inst = instrument(app_spec(functions=("f1",)))
+        assert inst.kernel_for("f1") == "KNL_F1"
+        with pytest.raises(KeyError):
+            inst.kernel_for("ghost")
+
+
+class TestMultiISA:
+    def test_images_for_both_isas(self):
+        compiled = compile_multi_isa(CodeModel("app", 500, ("kernel",)))
+        assert set(compiled.binary.images) == {"x86_64", "aarch64"}
+        # AArch64 text is larger (fixed-width encoding).
+        assert (
+            compiled.binary.images["aarch64"].text_bytes
+            > compiled.binary.images["x86_64"].text_bytes
+        )
+
+    def test_symbols_aligned_for_main_kernel_and_globals(self):
+        compiled = compile_multi_isa(CodeModel("app", 500, ("kernel",)))
+        for name in ("main", "kernel", "__global_data"):
+            assert compiled.binary.address_of(name) >= 0x400000
+
+    def test_migration_points_at_call_and_return(self):
+        compiled = compile_multi_isa(CodeModel("app", 500, ("kernel",)))
+        points = compiled.metadata.points_in("kernel")
+        assert len(points) == 2
+        assert {p.offset for p in points} == {0x10, 0x400}
+        assert compiled.metadata.points_in("main")  # entry point too
+
+    def test_metadata_is_usable_by_the_transformer(self):
+        compiled = compile_multi_isa(CodeModel("app", 500, ("kernel",)))
+        transformer = StateTransformer(compiled.metadata)
+        point = compiled.metadata.points_in("kernel")[0]
+        values = {var.name: 1 for var in point.live_vars}
+        # Floats need float values.
+        for var in point.live_vars:
+            if var.ctype in ("f32", "f64"):
+                values[var.name] = 1.0
+        frame = transformer.build_frame("kernel", point, values, "x86_64")
+        assert transformer.read_live_values(frame, "x86_64") == values
+
+    def test_loc_scales_size(self):
+        small = compile_multi_isa(CodeModel("s", 300, ("k",)))
+        large = compile_multi_isa(CodeModel("l", 900, ("k",)))
+        assert large.size_bytes > small.size_bytes
+
+    def test_deterministic(self):
+        a = compile_multi_isa(CodeModel("app", 500, ("kernel",)))
+        b = compile_multi_isa(CodeModel("app", 500, ("kernel",)))
+        assert a.size_bytes == b.size_bytes
+        assert a.binary.addresses == b.binary.addresses
+
+    def test_bad_loc_rejected(self):
+        with pytest.raises(ValueError):
+            CodeModel("app", 0, ("k",))
+
+
+class TestSizes:
+    class FakeXCLBIN:
+        size_bytes = 2_500_000
+
+    def test_xar_trek_subsumes_both_baselines(self):
+        code = CodeModel("app", 500, ("kernel",))
+        breakdown = size_breakdown(code, self.FakeXCLBIN())
+        assert breakdown.xar_trek > breakdown.x86_fpga
+        assert breakdown.xar_trek > breakdown.popcorn
+        assert breakdown.increase_vs_x86_fpga > 0
+        assert breakdown.increase_vs_popcorn > 0
+
+    def test_multi_isa_larger_than_single(self):
+        code = CodeModel("app", 500, ("kernel",))
+        assert compile_multi_isa(code).size_bytes > single_isa_size(code)
+
+    def test_cg_popcorn_binary_visibly_larger(self):
+        # Figure 10's observation: 900 LOC CG-A vs 300-500 LOC others.
+        cg = size_breakdown(CodeModel("cg.A", 900, ("k",)), self.FakeXCLBIN())
+        fd = size_breakdown(CodeModel("facedet.320", 330, ("k",)), self.FakeXCLBIN())
+        assert cg.popcorn > fd.popcorn * 1.1

@@ -1,0 +1,105 @@
+"""Unit + property tests for XCLBIN partitioning (step E) and generation (F)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import PartitionError, partition
+from repro.compiler.hls import HLSReport
+from repro.compiler.xclbin import generate_xclbin
+from repro.compiler.xo import XilinxObject
+from repro.hardware import ALVEO_U50
+from repro.hardware.fpga import FPGAResources, FPGASpec
+
+
+def xo(name, lut=50_000, bram=50, dsp=100, uram=0):
+    report = HLSReport(
+        kernel_name=name,
+        resources=FPGAResources(lut=lut, ff=int(lut * 1.5), bram=bram, dsp=dsp, uram=uram),
+        latency_cycles=1000,
+        clock_mhz=300.0,
+        ii=1,
+    )
+    return XilinxObject(
+        kernel_name=name, function_name="f", application="app", report=report
+    )
+
+
+SMALL_DEVICE = FPGASpec(
+    name="small",
+    resources=FPGAResources(lut=250_000, ff=500_000, bram=400, dsp=800, uram=64),
+    hbm_bytes=1 << 30,
+)
+
+
+class TestPartition:
+    def test_everything_fits_one_image_when_small(self):
+        plans = partition([xo("a"), xo("b"), xo("c")], ALVEO_U50)
+        assert len(plans) == 1
+        assert set(plans[0].kernel_names) == {"a", "b", "c"}
+
+    def test_splits_when_area_exhausted(self):
+        # Each kernel uses ~100k of the small device's 200k usable LUTs.
+        objects = [xo(f"k{i}", lut=100_000) for i in range(4)]
+        plans = partition(objects, SMALL_DEVICE)
+        assert len(plans) == 2
+        placed = [k for plan in plans for k in plan.kernel_names]
+        assert sorted(placed) == ["k0", "k1", "k2", "k3"]
+
+    def test_kernel_larger_than_device_rejected(self):
+        with pytest.raises(PartitionError, match="alone exceeds"):
+            partition([xo("huge", lut=10_000_000)], ALVEO_U50)
+
+    def test_duplicate_kernel_rejected(self):
+        with pytest.raises(PartitionError, match="duplicate"):
+            partition([xo("a"), xo("a")], ALVEO_U50)
+
+    def test_manual_groups_pin_kernels_together(self):
+        objects = [xo("a"), xo("b"), xo("c")]
+        plans = partition(
+            objects, ALVEO_U50, manual_groups={"a": "g1", "c": "g1"}
+        )
+        (manual,) = [p for p in plans if p.name == "xclbin_g1"]
+        assert set(manual.kernel_names) >= {"a", "c"}
+
+    def test_manual_group_too_big_rejected(self):
+        objects = [xo("a", lut=120_000), xo("b", lut=120_000)]
+        with pytest.raises(PartitionError, match="split the group"):
+            partition(objects, SMALL_DEVICE, manual_groups={"a": "g", "b": "g"})
+
+    def test_empty_input(self):
+        assert partition([], ALVEO_U50) == []
+
+    @given(
+        luts=st.lists(st.integers(min_value=1_000, max_value=180_000), min_size=1, max_size=20)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_kernel_placed_exactly_once_and_plans_fit(self, luts):
+        objects = [xo(f"k{i}", lut=lut, bram=lut // 1000, dsp=lut // 500) for i, lut in enumerate(luts)]
+        plans = partition(objects, SMALL_DEVICE)
+        placed = [k for plan in plans for k in plan.kernel_names]
+        assert sorted(placed) == sorted(o.kernel_name for o in objects)
+        for plan in plans:
+            assert plan.fits(SMALL_DEVICE)
+
+
+class TestXCLBIN:
+    def test_generated_image_protocol(self):
+        plans = partition([xo("a"), xo("b")], ALVEO_U50)
+        image = generate_xclbin(plans[0], ALVEO_U50)
+        assert set(image.kernel_names) == {"a", "b"}
+        assert image.size_bytes > 1_800_000  # shell + kernels
+        assert image.kernel("a").kernel_name == "a"
+        with pytest.raises(KeyError):
+            image.kernel("ghost")
+
+    def test_size_grows_with_area(self):
+        small = generate_xclbin(partition([xo("a", lut=10_000)], ALVEO_U50)[0], ALVEO_U50)
+        large = generate_xclbin(partition([xo("a", lut=300_000)], ALVEO_U50)[0], ALVEO_U50)
+        assert large.size_bytes > small.size_bytes
+
+    def test_oversized_plan_rejected(self):
+        plan = partition([xo("a")], ALVEO_U50)[0]
+        plan.objects.append(xo("b", lut=10_000_000))
+        with pytest.raises(ValueError):
+            generate_xclbin(plan, ALVEO_U50)

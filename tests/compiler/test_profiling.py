@@ -1,0 +1,82 @@
+"""Unit tests for the profiling spec (step A)."""
+
+import pytest
+
+from repro.compiler import ProfilingSpec, SpecError
+from repro.compiler.profiling import ApplicationSpec, SelectedFunction
+
+GOOD = """\
+# comment
+platform alveo-u50
+
+application cg.A
+    function conj_grad kernel=KNL_HW_CG_A
+application facedet.320
+    function detect_faces kernel=KNL_HW_FD320 xclbin=vision
+"""
+
+
+class TestParse:
+    def test_parses_platform_and_applications(self):
+        spec = ProfilingSpec.parse(GOOD)
+        assert spec.platform == "alveo-u50"
+        assert [app.name for app in spec.applications] == ["cg.A", "facedet.320"]
+
+    def test_function_options(self):
+        spec = ProfilingSpec.parse(GOOD)
+        fn = spec.application("facedet.320").functions[0]
+        assert fn.name == "detect_faces"
+        assert fn.kernel_name == "KNL_HW_FD320"
+        assert fn.xclbin_group == "vision"
+        assert spec.application("cg.A").functions[0].xclbin_group is None
+
+    def test_round_trip(self):
+        spec = ProfilingSpec.parse(GOOD)
+        assert ProfilingSpec.parse(spec.to_text()) == spec
+
+    def test_all_functions_in_order(self):
+        spec = ProfilingSpec.parse(GOOD)
+        assert [(a, f.name) for a, f in spec.all_functions()] == [
+            ("cg.A", "conj_grad"),
+            ("facedet.320", "detect_faces"),
+        ]
+
+    @pytest.mark.parametrize(
+        "text,msg",
+        [
+            ("application foo\n  function f kernel=K\n", "no platform"),
+            ("platform p\nplatform q\n", "duplicate platform"),
+            ("platform p\nfunction f kernel=K\n", "outside application"),
+            ("platform p\napplication a\n  function f\n", "kernel"),
+            ("platform p\napplication a\n  function f bad\n", "bad option"),
+            ("platform p\napplication a\n  function f weird=1 kernel=K\n", "unknown option"),
+            ("platform p\nbogus line\n", "unknown keyword"),
+            ("platform p q\n", "one name"),
+            ("platform p\napplication a\n", "selects no functions"),
+        ],
+    )
+    def test_malformed_specs_rejected(self, text, msg):
+        with pytest.raises(SpecError, match=msg):
+            ProfilingSpec.parse(text)
+
+    def test_unknown_application_lookup(self):
+        spec = ProfilingSpec.parse(GOOD)
+        with pytest.raises(SpecError):
+            spec.application("nope")
+
+
+class TestValidation:
+    def test_duplicate_function_in_app_rejected(self):
+        with pytest.raises(SpecError):
+            ApplicationSpec(
+                "a",
+                (
+                    SelectedFunction("f", "K1"),
+                    SelectedFunction("f", "K2"),
+                ),
+            )
+
+    def test_duplicate_applications_rejected(self):
+        app = ApplicationSpec("a", (SelectedFunction("f", "K"),))
+        with pytest.raises(SpecError):
+            ProfilingSpec(platform="p", applications=(app, app))

@@ -1,0 +1,91 @@
+"""Tests for the space-sharing extension (compute-unit replication)."""
+
+import pytest
+
+from repro.compiler import XarTrekCompiler, partition
+from repro.compiler.xclbin import MAX_COMPUTE_UNITS, generate_xclbin
+from repro.core import SystemMode, build_system
+from repro.core.runtime import spec_for
+from repro.hardware import ALVEO_U50
+from repro.workloads import PAPER_BENCHMARKS
+from tests.compiler.test_partition_xclbin import SMALL_DEVICE, xo
+
+
+class TestReplication:
+    def test_default_is_one_cu_per_kernel(self):
+        plan = partition([xo("a"), xo("b")], ALVEO_U50)[0]
+        image = generate_xclbin(plan, ALVEO_U50)
+        assert image.compute_units("a") == 1
+        assert image.compute_units("b") == 1
+
+    def test_replication_fills_leftover_area(self):
+        plan = partition([xo("a", lut=50_000)], ALVEO_U50)[0]
+        image = generate_xclbin(plan, ALVEO_U50, replicate=True)
+        assert image.compute_units("a") > 1
+        assert image.compute_units("a") <= MAX_COMPUTE_UNITS
+        assert image.resources.fits_in(ALVEO_U50.usable_resources)
+
+    def test_replication_respects_area(self):
+        # Two kernels that nearly fill the small device: no room for CUs.
+        objects = [xo("a", lut=95_000), xo("b", lut=95_000)]
+        plan = partition(objects, SMALL_DEVICE)[0]
+        image = generate_xclbin(plan, SMALL_DEVICE, replicate=True)
+        assert image.compute_units("a") == 1
+        assert image.compute_units("b") == 1
+
+    def test_replicated_image_is_larger(self):
+        plan = partition([xo("a", lut=50_000)], ALVEO_U50)[0]
+        single = generate_xclbin(plan, ALVEO_U50, replicate=False)
+        multi = generate_xclbin(plan, ALVEO_U50, replicate=True)
+        assert multi.size_bytes > single.size_bytes
+
+    def test_pipeline_flag_propagates(self):
+        result = XarTrekCompiler(replicate_compute_units=True).compile(
+            spec_for(["digit.2000"])
+        )
+        image = result.xclbin_for("KNL_HW_DR200")
+        assert image.compute_units("KNL_HW_DR200") > 1
+
+
+class TestDeviceConcurrency:
+    def test_replicated_kernels_run_concurrently(self):
+        runtime = build_system(["digit.2000"], replicate_compute_units=True)
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        start = runtime.platform.now
+        first = runtime.xrt.run_kernel("KNL_HW_DR200", 0, 0, duration=1.0)
+        second = runtime.xrt.run_kernel("KNL_HW_DR200", 0, 0, duration=1.0)
+        runtime.platform.sim.run_until_event(first)
+        runtime.platform.sim.run_until_event(second)
+        assert runtime.platform.now - start == pytest.approx(1.0, rel=1e-6)
+
+    def test_unreplicated_kernels_serialize(self):
+        runtime = build_system(["digit.2000"], replicate_compute_units=False)
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        start = runtime.platform.now
+        first = runtime.xrt.run_kernel("KNL_HW_DR200", 0, 0, duration=1.0)
+        second = runtime.xrt.run_kernel("KNL_HW_DR200", 0, 0, duration=1.0)
+        runtime.platform.sim.run_until_event(first)
+        runtime.platform.sim.run_until_event(second)
+        assert runtime.platform.now - start == pytest.approx(2.0, rel=1e-6)
+
+    def test_space_sharing_helps_concurrent_tenants(self):
+        """Two tenants calling the same hot kernel finish sooner with
+        replicated compute units — the Section 7 motivation."""
+
+        def run(replicate: bool) -> float:
+            runtime = build_system(
+                PAPER_BENCHMARKS, replicate_compute_units=replicate
+            )
+            runtime.platform.sim.run_until_event(runtime.preload_fpga())
+            load = runtime.launch_background(40, work_s=60.0)
+            events = [
+                runtime.launch(
+                    "digit.2000", seed=i, mode=SystemMode.XAR_TREK, delay_s=0.01
+                )
+                for i in range(4)
+            ]
+            records = runtime.wait_all(events)
+            load.stop()
+            return max(rec.end_s for rec in records)
+
+        assert run(replicate=True) < run(replicate=False)

@@ -1,0 +1,125 @@
+"""Unit tests for threshold estimation (step G) and the full pipeline."""
+
+import math
+
+import pytest
+
+from repro.compiler import (
+    XarTrekCompiler,
+    estimate_thresholds,
+    simulate_x86_time_under_load,
+    x86_time_under_load,
+)
+from repro.core.runtime import spec_for
+from repro.thresholds import ThresholdTable
+from repro.types import Target
+from repro.workloads import PAPER_BENCHMARKS, PAPER_TABLE2, profile_for
+
+
+class TestLoadModel:
+    def test_analytic_matches_simulated_measurement(self):
+        profile = profile_for("digit.2000")
+        for load in (1, 3, 6, 7, 17, 60, 120):
+            analytic = x86_time_under_load(profile, load)
+            simulated = simulate_x86_time_under_load(profile, load)
+            assert analytic == pytest.approx(simulated, rel=1e-9)
+
+    def test_no_dilation_below_core_count(self):
+        profile = profile_for("cg.A")
+        assert x86_time_under_load(profile, 6) == pytest.approx(
+            profile.vanilla_x86_s
+        )
+
+    def test_linear_dilation_above(self):
+        profile = profile_for("cg.A")
+        assert x86_time_under_load(profile, 12) == pytest.approx(
+            2 * profile.vanilla_x86_s
+        )
+
+    def test_bad_load_rejected(self):
+        profile = profile_for("cg.A")
+        with pytest.raises(ValueError):
+            x86_time_under_load(profile, 0)
+        with pytest.raises(ValueError):
+            simulate_x86_time_under_load(profile, 0)
+
+
+class TestEstimation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return estimate_thresholds([profile_for(n) for n in PAPER_BENCHMARKS])
+
+    def test_zero_thresholds_where_fpga_beats_idle_x86(self, table):
+        # Table 2: FaceDet640, Digit500, Digit2000 have FPGA_THR = 0.
+        for name in ("facedet.640", "digit.500", "digit.2000"):
+            assert table.entry(name).fpga_threshold == 0
+
+    def test_cg_prefers_arm_over_fpga(self, table):
+        entry = table.entry("cg.A")
+        assert entry.arm_threshold < entry.fpga_threshold
+
+    def test_thresholds_close_to_paper(self, table):
+        # Within a few processes of Table 2 (measurement-method noise).
+        for name, (_kernel, paper_fpga, paper_arm) in PAPER_TABLE2.items():
+            entry = table.entry(name)
+            assert abs(entry.fpga_threshold - paper_fpga) <= 8
+            assert abs(entry.arm_threshold - paper_arm) <= 8
+
+    def test_observed_seeds_match_isolated_times(self, table):
+        entry = table.entry("digit.2000")
+        profile = profile_for("digit.2000")
+        assert entry.observed(Target.X86) == pytest.approx(profile.vanilla_x86_s)
+        assert entry.observed(Target.FPGA) == pytest.approx(profile.x86_fpga_s)
+        assert entry.observed(Target.ARM) == pytest.approx(profile.x86_arm_s)
+
+    def test_incapable_targets_get_capped_thresholds(self):
+        table = estimate_thresholds([profile_for("mg.B")], max_load=99)
+        entry = table.entry("mg.B")
+        assert entry.fpga_threshold == 99
+        assert entry.arm_threshold == 99
+        assert math.isinf(entry.observed(Target.FPGA))
+
+    def test_bfs_never_profitable_on_fpga(self):
+        # Table 4: x86 wins by orders of magnitude, so the threshold hits
+        # the sweep cap and the scheduler will effectively never migrate.
+        table = estimate_thresholds([profile_for("bfs.1000")], max_load=128)
+        assert table.entry("bfs.1000").fpga_threshold > 100
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return XarTrekCompiler().compile(spec_for(PAPER_BENCHMARKS))
+
+    def test_all_applications_compiled(self, result):
+        assert set(result.applications) == set(PAPER_BENCHMARKS)
+
+    def test_every_kernel_hosted_by_an_image(self, result):
+        for name in PAPER_BENCHMARKS:
+            kernel = result.application(name).profile.kernel_name
+            image = result.xclbin_for(kernel)
+            assert kernel in image.kernel_names
+            assert result.application(name).kernel_images[kernel] == image.name
+
+    def test_binaries_are_multi_isa(self, result):
+        for app in result.applications.values():
+            assert set(app.compiled.binary.images) == {"x86_64", "aarch64"}
+            assert app.binary_size_bytes > 0
+
+    def test_thresholds_included(self, result):
+        assert len(result.thresholds) == len(PAPER_BENCHMARKS)
+
+    def test_unknown_lookups_rejected(self, result):
+        with pytest.raises(KeyError):
+            result.application("ghost")
+        with pytest.raises(KeyError):
+            result.xclbin_for("KNL_GHOST")
+
+
+class TestThresholdTableSerialization:
+    def test_round_trip(self):
+        table = estimate_thresholds([profile_for(n) for n in PAPER_BENCHMARKS])
+        parsed = ThresholdTable.parse(table.to_text())
+        for name in PAPER_BENCHMARKS:
+            assert parsed.entry(name).fpga_threshold == table.entry(name).fpga_threshold
+            assert parsed.entry(name).arm_threshold == table.entry(name).arm_threshold

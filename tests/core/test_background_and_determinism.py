@@ -1,0 +1,98 @@
+"""Background-load duty cycles, concurrency, and whole-system determinism."""
+
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.experiments import run_application_set
+from repro.types import Target
+
+
+class TestBackgroundDuty:
+    def test_full_duty_keeps_all_processes_runnable(self):
+        runtime = build_system(["digit.500"])
+        load = runtime.launch_background(10, work_s=5.0, duty=1.0)
+        runtime.platform.sim.run(until=1.0)
+        assert runtime.platform.x86_load == 10
+        load.stop()
+
+    def test_partial_duty_lowers_average_load(self):
+        runtime = build_system(["digit.500"])
+        load = runtime.launch_background(16, work_s=50.0, duty=0.25)
+        runtime.platform.sim.run(until=20.0)
+        mean_load = runtime.platform.x86.cpu.mean_load()
+        assert mean_load < 16 * 0.5  # well below the resident count
+        assert mean_load > 1.0
+        load.stop()
+
+    def test_partial_duty_dilates_foreground_less(self):
+        def foreground_time(duty: float) -> float:
+            runtime = build_system(["digit.2000"])
+            load = runtime.launch_background(30, work_s=60.0, duty=duty)
+            record = runtime.platform.sim.run_until_event(
+                runtime.launch(
+                    "digit.2000", mode=SystemMode.VANILLA_X86, delay_s=0.5
+                )
+            )
+            load.stop()
+            return record.elapsed_s
+
+        assert foreground_time(0.25) < foreground_time(1.0) * 0.6
+
+    def test_duty_validation(self):
+        runtime = build_system(["digit.500"])
+        with pytest.raises(ValueError):
+            runtime.launch_background(1, duty=0.0)
+        with pytest.raises(ValueError):
+            runtime.launch_background(1, duty=1.5)
+
+    def test_stop_drains_workers(self):
+        runtime = build_system(["digit.500"])
+        load = runtime.launch_background(5, work_s=2.0, duty=0.5)
+        runtime.platform.sim.run(until=1.0)
+        load.stop()
+        runtime.platform.run()  # drains without hanging
+        assert runtime.platform.x86_load == 0
+
+
+class TestSchedulerConcurrency:
+    def test_simultaneous_requests_all_answered_in_order(self):
+        runtime = build_system(["digit.2000", "cg.A"])
+        replies = [
+            runtime.server.request("digit.2000" if i % 2 else "cg.A")
+            for i in range(12)
+        ]
+        targets = [runtime.platform.sim.run_until_event(r) for r in replies]
+        assert len(targets) == 12
+        assert all(t in (Target.X86, Target.ARM, Target.FPGA) for t in targets)
+        assert runtime.server.stats.requests == 12
+
+    def test_request_latency_accumulates_fifo(self):
+        # 10 queued requests, each costing one socket round trip, are
+        # served sequentially by the single server loop.
+        runtime = build_system(["cg.A"])
+        replies = [runtime.server.request("cg.A") for _ in range(10)]
+        runtime.platform.sim.run_until_event(replies[-1])
+        assert runtime.platform.now >= 10 * 2 * runtime.server.socket_latency_s * 0.99
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_outcomes(self):
+        apps = ("digit.2000", "cg.A", "facedet.320", "digit.500")
+
+        def run():
+            outcome = run_application_set(
+                apps, SystemMode.XAR_TREK, background=40, seed=13
+            )
+            return [
+                (r.app, round(r.start_s, 9), round(r.end_s, 9), tuple(r.targets))
+                for r in outcome.records
+            ]
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        apps = ("digit.2000", "cg.A")
+        first = run_application_set(apps, SystemMode.XAR_TREK, background=40, seed=1)
+        second = run_application_set(apps, SystemMode.XAR_TREK, background=40, seed=2)
+        # Same shapes, but the simulations are independent objects.
+        assert len(first.records) == len(second.records)

@@ -1,0 +1,134 @@
+"""Tests for Algorithm 1 (dynamic threshold update) and the threshold table."""
+
+import math
+
+import pytest
+
+from repro.core import ThresholdUpdater, UpdateOutcome
+from repro.thresholds import ThresholdEntry, ThresholdError, ThresholdTable
+from repro.types import Target
+
+
+def entry(fpga=16.0, arm=31.0, x86=0.175, fpga_t=0.332, arm_t=0.642):
+    e = ThresholdEntry("app", "KNL", fpga_threshold=fpga, arm_threshold=arm)
+    e.record(Target.X86, x86)
+    e.record(Target.FPGA, fpga_t)
+    e.record(Target.ARM, arm_t)
+    return e
+
+
+class TestAlgorithm1:
+    def test_lines_4_5_lower_fpga_threshold(self):
+        # Ran on x86, slower than the recorded FPGA time, at a load below
+        # the current threshold -> the threshold comes down to that load.
+        e = entry()
+        outcome = ThresholdUpdater().update(e, Target.X86, exec_seconds=0.5, x86_load=10)
+        assert outcome == UpdateOutcome.LOWERED_FPGA
+        assert e.fpga_threshold == 10
+        assert e.observed(Target.X86) == 0.5  # lines 1-2 recorded
+
+    def test_lines_7_8_lower_arm_threshold(self):
+        # Slower than ARM but not FPGA -> the elif arm branch.
+        e = entry(fpga_t=10.0)  # FPGA time huge: first condition fails
+        outcome = ThresholdUpdater().update(e, Target.X86, exec_seconds=0.7, x86_load=20)
+        assert outcome == UpdateOutcome.LOWERED_ARM
+        assert e.arm_threshold == 20
+
+    def test_line_10_just_record(self):
+        e = entry()
+        outcome = ThresholdUpdater().update(e, Target.X86, exec_seconds=0.1, x86_load=3)
+        assert outcome == UpdateOutcome.RECORDED
+        assert e.fpga_threshold == 16 and e.arm_threshold == 31
+        assert e.observed(Target.X86) == 0.1
+
+    def test_no_lowering_at_or_above_current_threshold(self):
+        e = entry()
+        ThresholdUpdater().update(e, Target.X86, exec_seconds=0.5, x86_load=16)
+        assert e.fpga_threshold == 16  # load not strictly below
+
+    def test_lines_14_17_raise_arm_threshold(self):
+        e = entry()
+        outcome = ThresholdUpdater(increase_step=2.0).update(
+            e, Target.ARM, exec_seconds=0.9, x86_load=40
+        )
+        assert outcome == UpdateOutcome.RAISED_ARM
+        assert e.arm_threshold == 33.0
+        assert e.observed(Target.ARM) == 0.9
+
+    def test_lines_19_23_raise_fpga_threshold(self):
+        e = entry()
+        outcome = ThresholdUpdater().update(e, Target.FPGA, exec_seconds=0.9, x86_load=40)
+        assert outcome == UpdateOutcome.RAISED_FPGA
+        assert e.fpga_threshold == 17.0
+
+    def test_fast_migrated_run_leaves_thresholds_alone(self):
+        e = entry()
+        outcome = ThresholdUpdater().update(e, Target.FPGA, exec_seconds=0.05, x86_load=40)
+        assert outcome == UpdateOutcome.RECORDED
+        assert e.fpga_threshold == 16
+
+    def test_comparison_uses_previous_observation(self):
+        # The update compares against the observation *before* recording
+        # this run (paper: record happens as the app terminates).
+        e = entry(x86=0.2)
+        ThresholdUpdater().update(e, Target.ARM, exec_seconds=0.1, x86_load=5)
+        assert e.arm_threshold == 31  # 0.1 < 0.2: no raise
+        assert e.observed(Target.ARM) == 0.1
+
+    def test_never_observed_target_compares_as_infinite(self):
+        e = ThresholdEntry("app", "KNL", fpga_threshold=5, arm_threshold=5)
+        assert math.isinf(e.observed(Target.FPGA))
+        outcome = ThresholdUpdater().update(e, Target.X86, exec_seconds=99.0, x86_load=2)
+        assert outcome == UpdateOutcome.RECORDED  # nothing to compare against
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdUpdater(increase_step=0)
+
+    def test_negative_time_rejected(self):
+        e = entry()
+        with pytest.raises(ThresholdError):
+            ThresholdUpdater().update(e, Target.X86, exec_seconds=-1.0, x86_load=2)
+
+
+class TestThresholdTable:
+    def test_add_lookup_iterate(self):
+        table = ThresholdTable([entry()])
+        assert table.has("app")
+        assert table.entry("app").kernel_name == "KNL"
+        assert len(table) == 1
+        assert [e.application for e in table] == ["app"]
+        assert table.applications() == ("app",)
+
+    def test_duplicate_rejected(self):
+        table = ThresholdTable([entry()])
+        with pytest.raises(ThresholdError):
+            table.add(entry())
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ThresholdError):
+            ThresholdTable().entry("ghost")
+
+    def test_copy_is_deep_for_updates(self):
+        table = ThresholdTable([entry()])
+        clone = table.copy()
+        clone.entry("app").fpga_threshold = 99
+        clone.entry("app").record(Target.X86, 123.0)
+        assert table.entry("app").fpga_threshold == 16
+        assert table.entry("app").observed(Target.X86) == 0.175
+
+    def test_text_round_trip(self):
+        table = ThresholdTable(
+            [
+                ThresholdEntry("a", "K1", 16, 31),
+                ThresholdEntry("b", "", 0, 17),
+            ]
+        )
+        parsed = ThresholdTable.parse(table.to_text())
+        assert parsed.entry("a").fpga_threshold == 16
+        assert parsed.entry("b").kernel_name == ""
+        assert parsed.entry("b").arm_threshold == 17
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ThresholdError):
+            ThresholdTable.parse("only two fields\n")

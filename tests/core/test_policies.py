@@ -1,0 +1,132 @@
+"""Unit + integration tests for the alternative scheduling policies."""
+
+import pytest
+
+from repro.core import (
+    SystemMode,
+    build_system,
+    cost_model_policy,
+    energy_aware_policy,
+)
+from repro.hardware import EnergyMeter, PowerModel
+from repro.thresholds import ThresholdEntry
+from repro.types import Target
+from repro.workloads import all_profiles, profile_for
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return all_profiles()
+
+
+def entry_for(name: str) -> ThresholdEntry:
+    profile = profile_for(name)
+    return ThresholdEntry(name, profile.kernel_name, fpga_threshold=16, arm_threshold=31)
+
+
+class TestCostModelPolicy:
+    def test_idle_host_keeps_fast_x86_apps_home(self, profiles):
+        policy = cost_model_policy(profiles)
+        decision = policy(1, entry_for("cg.A"), kernel_available=True)
+        assert decision.target is Target.X86
+
+    def test_idle_host_still_offloads_fpga_winners(self, profiles):
+        # digit.2000 is faster on the FPGA even from an idle host.
+        policy = cost_model_policy(profiles)
+        decision = policy(1, entry_for("digit.2000"), kernel_available=True)
+        assert decision.target is Target.FPGA
+
+    def test_loaded_host_offloads(self, profiles):
+        policy = cost_model_policy(profiles)
+        decision = policy(60, entry_for("cg.A"), kernel_available=True)
+        assert decision.target is Target.ARM  # CG's best escape
+
+    def test_absent_kernel_triggers_reconfigure_hint(self, profiles):
+        policy = cost_model_policy(profiles)
+        decision = policy(60, entry_for("digit.2000"), kernel_available=False)
+        assert decision.target in (Target.X86, Target.ARM)
+        assert decision.reconfigure
+
+    def test_never_picks_absent_kernel(self, profiles):
+        policy = cost_model_policy(profiles)
+        for load in (1, 20, 60, 120):
+            for name in ("cg.A", "digit.2000", "facedet.320"):
+                decision = policy(load, entry_for(name), kernel_available=False)
+                assert decision.target is not Target.FPGA
+
+    def test_agrees_with_heuristic_in_the_clear_cases(self, profiles):
+        """The paper's heuristic approximates the cost model: on the
+        unambiguous operating points they agree."""
+        from repro.core import decide
+        from repro.compiler import estimate_thresholds
+
+        table = estimate_thresholds([profiles[n] for n in profiles if n != "mg.B"])
+        policy = cost_model_policy(profiles)
+        for name in ("digit.2000", "facedet.640", "cg.A"):
+            entry = table.entry(name)
+            for load in (1, 60, 120):
+                heuristic = decide(load, entry, kernel_available=True)
+                model = policy(load, entry, kernel_available=True)
+                if load in (1,) or load >= 60:
+                    assert heuristic.target == model.target, (name, load)
+
+
+class TestEnergyAwarePolicy:
+    def test_prefers_arm_for_energy(self, profiles):
+        # ARM's per-core watts are ~12x below the Xeon's: pure-energy
+        # scheduling sends everything there.
+        policy = energy_aware_policy(profiles, delay_exponent=0.0)
+        for name in ("cg.A", "digit.2000", "facedet.320"):
+            decision = policy(1, entry_for(name), kernel_available=True)
+            assert decision.target is Target.ARM, name
+
+    def test_higher_delay_exponent_leans_to_performance(self, profiles):
+        perf_leaning = energy_aware_policy(profiles, delay_exponent=2.0)
+        decision = perf_leaning(60, entry_for("digit.2000"), kernel_available=True)
+        assert decision.target is Target.FPGA  # fast enough to win ED^2P
+
+    def test_respects_kernel_availability(self, profiles):
+        policy = energy_aware_policy(profiles)
+        decision = policy(60, entry_for("digit.2000"), kernel_available=False)
+        assert decision.target is not Target.FPGA
+
+
+class TestPoliciesEndToEnd:
+    def test_cost_model_beats_or_matches_heuristic_under_load(self, profiles):
+        def run(policy):
+            runtime = build_system(["digit.2000"], seed=4, policy=policy)
+            load = runtime.launch_background(40, work_s=60.0)
+            record = runtime.platform.sim.run_until_event(
+                runtime.launch("digit.2000", mode=SystemMode.XAR_TREK, delay_s=0.01)
+            )
+            load.stop()
+            return record.elapsed_s
+
+        heuristic_s = run(None)
+        model_s = run(cost_model_policy(profiles))
+        assert model_s <= heuristic_s * 1.02
+
+    def test_energy_policy_reduces_joules_at_a_time_cost(self, profiles):
+        def run(policy):
+            runtime = build_system(["digit.2000"], seed=4, policy=policy)
+            runtime.platform.sim.run_until_event(runtime.preload_fpga())
+            meter = EnergyMeter(runtime.platform, PowerModel())
+            record = runtime.platform.sim.run_until_event(
+                runtime.launch("digit.2000", mode=SystemMode.XAR_TREK)
+            )
+            return record, meter.report()
+
+        perf_record, perf_energy = run(cost_model_policy(profiles))
+        green_record, green_energy = run(energy_aware_policy(profiles, delay_exponent=0.0))
+
+        def active_j(report):
+            # Compare marginal (active) energy; idle power dominates a
+            # single-app window and depends only on wall time.
+            model = PowerModel()
+            idle = report.window_s * (
+                model.x86.idle_w + model.arm.idle_w + model.fpga.idle_w
+            )
+            return report.total_j - idle
+
+        assert active_j(green_energy) < active_j(perf_energy)
+        assert green_record.elapsed_s > perf_record.elapsed_s

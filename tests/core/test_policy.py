@@ -1,0 +1,104 @@
+"""Exhaustive tests for Algorithm 2 (the scheduling policy)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import decide
+from repro.thresholds import ThresholdEntry
+from repro.types import Target
+
+
+def entry(fpga=16.0, arm=31.0, kernel="KNL"):
+    return ThresholdEntry(
+        application="app", kernel_name=kernel, fpga_threshold=fpga, arm_threshold=arm
+    )
+
+
+class TestAlgorithm2Cases:
+    def test_lines_9_13_hot_for_fpga_kernel_absent(self):
+        # load in (fpga_thr, arm_thr]: stay on x86 and reconfigure.
+        decision = decide(20, entry(fpga=16, arm=31), kernel_available=False)
+        assert decision.target is Target.X86
+        assert decision.reconfigure
+        assert decision.rule == "x86+reconfig"
+
+    def test_lines_14_18_hot_for_both_kernel_absent(self):
+        decision = decide(40, entry(fpga=16, arm=31), kernel_available=False)
+        assert decision.target is Target.ARM
+        assert decision.reconfigure
+        assert decision.rule == "arm+reconfig"
+
+    def test_lines_19_21_cool_host(self):
+        decision = decide(5, entry(fpga=16, arm=31), kernel_available=True)
+        assert decision.target is Target.X86
+        assert not decision.reconfigure
+
+    def test_lines_22_24_hot_for_arm_only(self):
+        decision = decide(25, entry(fpga=30, arm=20), kernel_available=False)
+        assert decision.target is Target.ARM
+        assert not decision.reconfigure
+
+    def test_lines_25_31_fpga_resident_smaller_threshold_wins(self):
+        fpga_pick = decide(40, entry(fpga=16, arm=31), kernel_available=True)
+        assert fpga_pick.target is Target.FPGA
+        arm_pick = decide(40, entry(fpga=31, arm=25), kernel_available=True)
+        assert arm_pick.target is Target.ARM
+        assert arm_pick.rule == "arm-over-fpga"
+
+    def test_boundary_loads_do_not_migrate(self):
+        # "<= threshold" keeps the function local at exactly the threshold.
+        decision = decide(16, entry(fpga=16, arm=31), kernel_available=True)
+        assert decision.target is Target.X86
+
+    def test_zero_threshold_app_migrates_immediately(self):
+        # Digit2000-style: FPGA_THR = 0 -> any running process justifies it.
+        decision = decide(1, entry(fpga=0, arm=17), kernel_available=True)
+        assert decision.target is Target.FPGA
+
+    def test_no_hardware_kernel_never_reconfigures(self):
+        decision = decide(50, entry(fpga=16, arm=31, kernel=""), kernel_available=False)
+        assert decision.target is Target.ARM
+        assert not decision.reconfigure
+
+
+class TestPolicyProperties:
+    @given(
+        load=st.integers(min_value=0, max_value=300),
+        fpga=st.integers(min_value=0, max_value=128),
+        arm=st.integers(min_value=0, max_value=128),
+        available=st.booleans(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_total_function_exactly_one_rule_fires(self, load, fpga, arm, available):
+        decision = decide(load, entry(fpga=fpga, arm=arm), available)
+        assert decision.target in (Target.X86, Target.ARM, Target.FPGA)
+        # Never picks the FPGA when the kernel is absent.
+        if not available:
+            assert decision.target is not Target.FPGA
+        # Never migrates anywhere when the host is cool on both axes.
+        if load <= min(fpga, arm):
+            assert decision.target is Target.X86
+            assert not decision.reconfigure
+        # Reconfiguration is only requested when the FPGA would be
+        # attractive but the kernel is missing.
+        if decision.reconfigure:
+            assert not available
+            assert load > fpga
+
+    @given(
+        load=st.integers(min_value=0, max_value=300),
+        fpga=st.integers(min_value=0, max_value=128),
+        arm=st.integers(min_value=0, max_value=128),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fpga_only_chosen_when_its_threshold_is_smaller(self, load, fpga, arm):
+        decision = decide(load, entry(fpga=fpga, arm=arm), kernel_available=True)
+        if decision.target is Target.FPGA:
+            assert fpga < arm and load > fpga
+
+    def test_thresholds_must_be_non_negative(self):
+        from repro.thresholds import ThresholdError
+
+        with pytest.raises(ThresholdError):
+            entry(fpga=-1)

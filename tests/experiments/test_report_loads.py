@@ -1,0 +1,79 @@
+"""Unit tests for result rendering and Table 3's load classes."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    LoadClass,
+    classify_load,
+    format_table,
+    percent_gain,
+    table3_load_classes,
+)
+
+
+class TestFormatting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [["a", 1.234], ["longer", 10]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.23" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+    def test_percent_gain(self):
+        assert percent_gain(100.0, 50.0) == pytest.approx(50.0)
+        assert percent_gain(100.0, 120.0) == pytest.approx(-20.0)
+        assert percent_gain(0.0, 5.0) == 0.0
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="Test",
+            headers=["key", "a", "b"],
+            rows=[[1, 10.0, 20.0], [2, 30.0, 40.0]],
+            notes="some notes",
+        )
+
+    def test_to_text_includes_everything(self):
+        text = self.make().to_text()
+        assert "== Test ==" in text
+        assert "some notes" in text
+        assert "30.00" in text
+
+    def test_column_extraction(self):
+        result = self.make()
+        assert result.column("a") == [10.0, 30.0]
+        with pytest.raises(KeyError):
+            result.column("ghost")
+
+    def test_row_lookup(self):
+        result = self.make()
+        assert result.row_for(2) == [2, 30.0, 40.0]
+        with pytest.raises(KeyError):
+            result.row_for(99)
+
+
+class TestLoadClasses:
+    def test_paper_boundaries(self):
+        # 6 x86 + 96 ARM cores (102 total).
+        assert classify_load(0) == LoadClass.LOW
+        assert classify_load(5) == LoadClass.LOW
+        assert classify_load(6) == LoadClass.MEDIUM
+        assert classify_load(60) == LoadClass.MEDIUM
+        assert classify_load(102) == LoadClass.MEDIUM
+        assert classify_load(103) == LoadClass.HIGH
+        assert classify_load(120) == LoadClass.HIGH
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_load(-1)
+
+    def test_table3_text(self):
+        result = table3_load_classes()
+        assert len(result.rows) == 3
+        assert "102" in result.notes

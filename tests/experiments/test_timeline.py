@@ -1,0 +1,85 @@
+"""Tests for timeline extraction and export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.experiments import extract_timeline
+
+
+@pytest.fixture()
+def traced_runtime():
+    runtime = build_system(["digit.2000", "cg.A"], trace=True)
+    load = runtime.launch_background(40, work_s=60.0)
+    events = [
+        runtime.launch(app, seed=i, mode=SystemMode.XAR_TREK, delay_s=0.01)
+        for i, app in enumerate(("digit.2000", "cg.A", "digit.2000"))
+    ]
+    runtime.wait_all(events)
+    load.stop()
+    return runtime
+
+
+class TestExtraction:
+    def test_spans_and_decisions_present(self, traced_runtime):
+        timeline = extract_timeline(traced_runtime)
+        assert len(timeline.of_kind("app-start")) == 3
+        assert len(timeline.of_kind("app-end")) == 3
+        assert len(timeline.of_kind("decision")) == 3
+        # Early configuration triggered at least one reconfiguration.
+        assert len(timeline.of_kind("reconfig")) >= 1
+
+    def test_events_sorted_by_time(self, traced_runtime):
+        timeline = extract_timeline(traced_runtime)
+        times = [ev.time_s for ev in timeline.events]
+        assert times == sorted(times)
+
+    def test_between_filters(self, traced_runtime):
+        timeline = extract_timeline(traced_runtime)
+        clipped = timeline.between(0.0, 0.02)
+        assert len(clipped) < len(timeline)
+        assert all(ev.time_s <= 0.02 for ev in clipped.events)
+
+    def test_until_filters(self, traced_runtime):
+        full = extract_timeline(traced_runtime)
+        clipped = extract_timeline(traced_runtime, until=0.02)
+        assert len(clipped) < len(full)
+
+    def test_decision_counts_by_rule(self, traced_runtime):
+        timeline = extract_timeline(traced_runtime)
+        counts = timeline.decision_counts()
+        assert sum(counts.values()) == 3
+        assert all(rule for rule in counts)
+
+    def test_summary_mentions_the_numbers(self, traced_runtime):
+        summary = extract_timeline(traced_runtime).summary()
+        assert "3 app starts" in summary
+        assert "decisions:" in summary
+
+
+class TestExport:
+    def test_csv_round_trip(self, traced_runtime):
+        timeline = extract_timeline(traced_runtime)
+        rows = list(csv.reader(io.StringIO(timeline.to_csv())))
+        assert rows[0] == ["time_s", "kind", "app", "detail"]
+        assert len(rows) == len(timeline) + 1
+        # Times parse as floats.
+        assert all(float(row[0]) >= 0 for row in rows[1:])
+
+    def test_json_round_trip(self, traced_runtime):
+        timeline = extract_timeline(traced_runtime)
+        decoded = json.loads(timeline.to_json())
+        assert len(decoded) == len(timeline)
+        assert {"time_s", "kind", "app", "detail"} <= set(decoded[0])
+
+    def test_untracet_runtime_still_exports_spans(self):
+        runtime = build_system(["digit.500"])  # trace disabled
+        runtime.platform.sim.run_until_event(
+            runtime.launch("digit.500", mode=SystemMode.VANILLA_X86)
+        )
+        timeline = extract_timeline(runtime)
+        assert len(timeline.of_kind("app-end")) == 1
+        assert timeline.of_kind("decision") == []

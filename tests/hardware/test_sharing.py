@@ -1,0 +1,180 @@
+"""Unit + property tests for the fair-share (processor-sharing) server."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.sharing import FairShareServer
+from repro.sim import SimulationError, Simulator
+
+
+def make_server(capacity=6.0, job_cap=1.0):
+    sim = Simulator()
+    return sim, FairShareServer(sim, "cpu", capacity=capacity, job_cap=job_cap)
+
+
+class TestBasics:
+    def test_single_job_runs_at_cap(self):
+        sim, srv = make_server()
+        job = srv.submit(2.0)
+        sim.run_until_event(job.done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_jobs_below_capacity_run_independently(self):
+        sim, srv = make_server(capacity=6, job_cap=1)
+        for _ in range(6):
+            srv.submit(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_oversubscription_dilates_linearly(self):
+        # 12 unit jobs on 6 cores: each runs at rate 0.5 -> done at 2.0.
+        sim, srv = make_server()
+        jobs = [srv.submit(1.0) for _ in range(12)]
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert all(j.finish_time == pytest.approx(2.0) for j in jobs)
+
+    def test_uncapped_job_uses_full_capacity(self):
+        sim, srv = make_server(capacity=100.0, job_cap=None)
+        job = srv.submit(200.0)
+        sim.run_until_event(job.done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_zero_work_completes_immediately(self):
+        sim, srv = make_server()
+        job = srv.submit(0.0)
+        assert job.done.triggered
+        assert srv.active_jobs == 0
+
+    def test_negative_work_rejected(self):
+        _sim, srv = make_server()
+        with pytest.raises(SimulationError):
+            srv.submit(-1.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            FairShareServer(Simulator(), "x", capacity=0)
+
+
+class TestDynamics:
+    def test_late_arrival_slows_everyone(self):
+        # 1 core. Job A (2s) starts alone; B (1s) arrives at t=1.
+        sim, srv = make_server(capacity=1, job_cap=1)
+        job_a = srv.submit(2.0, tag="a")
+        sim.call_in(1.0, lambda: srv.submit(1.0, tag="b"))
+        sim.run()
+        # At t=1, A has 1.0 left, B has 1.0; each at rate 0.5 -> both at t=3.
+        assert job_a.finish_time == pytest.approx(3.0)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_cancel_removes_job_and_speeds_up_rest(self):
+        sim, srv = make_server(capacity=1)
+        job_a = srv.submit(4.0, tag="a")
+        job_b = srv.submit(4.0, tag="b")
+        sim.call_in(2.0, lambda: srv.cancel(job_b))
+        sim.run()
+        # 2s shared (1.0 each done), then A alone finishes remaining 3.0.
+        assert job_a.finish_time == pytest.approx(5.0)
+        assert not job_b.done.triggered
+
+    def test_remaining_work_tracks_service(self):
+        sim, srv = make_server(capacity=1)
+        job = srv.submit(4.0)
+        srv.submit(4.0)
+        sim.run(until=2.0)
+        assert srv.remaining_work(job) == pytest.approx(3.0)
+
+    def test_load_metrics(self):
+        sim, srv = make_server(capacity=2, job_cap=1)
+        srv.submit(1.0)
+        srv.submit(1.0)
+        sim.run()
+        assert srv.utilization() == pytest.approx(1.0)
+        assert srv.mean_load() == pytest.approx(2.0)
+
+    def test_rate_per_job_query(self):
+        _sim, srv = make_server(capacity=6, job_cap=1)
+        assert srv.rate_per_job(3) == 1.0
+        assert srv.rate_per_job(12) == 0.5
+        assert srv.rate_per_job(0) == 0.0
+
+
+class TestProperties:
+    @given(
+        works=st.lists(
+            st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=20
+        ),
+        capacity=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_matches_ps_theory_for_simultaneous_jobs(self, works, capacity):
+        """For jobs all submitted at t=0 on a capped PS server, each job's
+        finish time is exactly computable; check the makespan."""
+        sim = Simulator()
+        srv = FairShareServer(sim, "cpu", capacity=capacity, job_cap=1.0)
+        jobs = [srv.submit(w) for w in works]
+        sim.run()
+        # Work conservation: total service = total work, and the server
+        # never idles while jobs remain, so makespan >= both bounds:
+        total = sum(works)
+        lower = max(max(works), total / capacity)
+        assert sim.now >= lower - 1e-6
+        # All jobs completed, exactly once.
+        assert all(j.done.processed for j in jobs)
+        assert srv.active_jobs == 0
+
+    @given(
+        works=st.lists(
+            st.floats(min_value=0.05, max_value=10.0), min_size=2, max_size=12
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shorter_jobs_never_finish_after_longer_ones(self, works):
+        """PS preserves ordering: with identical start times, a job with
+        less work finishes no later than one with more."""
+        sim = Simulator()
+        srv = FairShareServer(sim, "cpu", capacity=3, job_cap=1.0)
+        jobs = [(w, srv.submit(w)) for w in works]
+        sim.run()
+        finished = sorted(jobs, key=lambda pair: pair[0])
+        for (w1, j1), (w2, j2) in zip(finished, finished[1:]):
+            assert j1.finish_time <= j2.finish_time + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),  # arrival
+                st.floats(min_value=0.01, max_value=5.0),  # work
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_job_eventually_completes(self, arrivals):
+        sim = Simulator()
+        srv = FairShareServer(sim, "cpu", capacity=2, job_cap=1.0)
+        jobs = []
+
+        for at, work in arrivals:
+            sim.call_in(at, lambda w=work: jobs.append(srv.submit(w)))
+        sim.run()
+        assert len(jobs) == len(arrivals)
+        assert all(j.done.processed for j in jobs)
+        assert srv.active_jobs == 0
+
+
+def test_no_zeno_loop_with_extreme_rates():
+    """Regression: a tiny transfer at link-like rates (32e9/s) late in
+    simulated time must not spin on sub-ulp reschedules."""
+    sim = Simulator()
+    srv = FairShareServer(sim, "pcie", capacity=32e9, job_cap=None)
+    # Advance the clock far enough that ulp(now) * rate >> work dust.
+    sim.timeout(1e5)
+    sim.run()
+    job = srv.submit(4096.0)
+    other = srv.submit(1e9)
+    sim.run_until_event(job.done)
+    sim.run_until_event(other.done)
+    assert srv.active_jobs == 0

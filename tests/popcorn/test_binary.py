@@ -1,0 +1,115 @@
+"""Unit tests for multi-ISA binary artifacts and symbol alignment."""
+
+import pytest
+
+from repro.popcorn import (
+    ISAImage,
+    LayoutError,
+    MultiISABinary,
+    Symbol,
+    SymbolKind,
+    align_symbols,
+)
+
+
+def sym(name, x86=100, arm=120, kind=SymbolKind.FUNCTION, align=16):
+    return Symbol(name, kind, {"x86_64": x86, "aarch64": arm}, align=align)
+
+
+class TestSymbol:
+    def test_max_size(self):
+        assert sym("f", x86=100, arm=120).max_size() == 120
+
+    def test_validation(self):
+        with pytest.raises(LayoutError):
+            Symbol("f", "weird-kind", {"x86_64": 1})
+        with pytest.raises(LayoutError):
+            Symbol("f", SymbolKind.FUNCTION, {"x86_64": 1}, align=3)
+        with pytest.raises(LayoutError):
+            Symbol("f", SymbolKind.FUNCTION, {})
+        with pytest.raises(LayoutError):
+            Symbol("f", SymbolKind.FUNCTION, {"x86_64": -5})
+
+
+class TestAlignment:
+    def test_addresses_respect_alignment(self):
+        addresses = align_symbols(
+            [sym("a", align=16), sym("b", x86=7, arm=9, align=64), sym("c", align=16)]
+        )
+        assert addresses["a"] % 16 == 0
+        assert addresses["b"] % 64 == 0
+        assert addresses["c"] % 16 == 0
+
+    def test_slots_reserve_max_isa_size(self):
+        addresses = align_symbols(
+            [sym("a", x86=100, arm=200, align=1), sym("b", align=1)],
+            base_address=0,
+        )
+        # b starts after a's largest (ARM) version.
+        assert addresses["b"] - addresses["a"] >= 200
+
+    def test_no_overlap(self):
+        symbols = [sym(f"s{i}", x86=10 * i + 1, arm=12 * i + 1) for i in range(20)]
+        addresses = align_symbols(symbols)
+        spans = sorted(
+            (addresses[s.name], addresses[s.name] + s.max_size()) for s in symbols
+        )
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(LayoutError):
+            align_symbols([sym("dup"), sym("dup")])
+
+    def test_deterministic(self):
+        symbols = [sym(f"s{i}") for i in range(10)]
+        assert align_symbols(symbols) == align_symbols(symbols)
+
+
+class TestMultiISABinary:
+    def make_binary(self):
+        return MultiISABinary(
+            "app",
+            images={
+                "x86_64": ISAImage("x86_64", 1000, 200, 50),
+                "aarch64": ISAImage("aarch64", 1100, 200, 50),
+            },
+            symbols=[sym("main"), sym("kernel")],
+        )
+
+    def test_size_is_sum_of_images(self):
+        binary = self.make_binary()
+        assert binary.size_bytes == (1000 + 200 + 50) + (1100 + 200 + 50)
+
+    def test_addresses_shared_across_isas(self):
+        binary = self.make_binary()
+        # One address map for all ISAs: the defining property.
+        assert binary.address_of("main") == binary.addresses["main"]
+        assert binary.supports("x86_64") and binary.supports("aarch64")
+        assert not binary.supports("riscv64")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(LayoutError):
+            self.make_binary().address_of("ghost")
+
+    def test_image_isa_mismatch_rejected(self):
+        with pytest.raises(LayoutError):
+            MultiISABinary("app", images={"x86_64": ISAImage("aarch64", 1, 1)})
+
+    def test_empty_images_rejected(self):
+        with pytest.raises(LayoutError):
+            MultiISABinary("app", images={})
+
+    def test_symbol_missing_isa_size_rejected(self):
+        with pytest.raises(LayoutError):
+            MultiISABinary(
+                "app",
+                images={
+                    "x86_64": ISAImage("x86_64", 1, 1),
+                    "aarch64": ISAImage("aarch64", 1, 1),
+                },
+                symbols=[Symbol("f", SymbolKind.FUNCTION, {"x86_64": 10})],
+            )
+
+    def test_isas_sorted(self):
+        assert self.make_binary().isas == ("aarch64", "x86_64")

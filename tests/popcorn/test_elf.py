@@ -1,0 +1,136 @@
+"""Unit + property tests for the XELF binary container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CodeModel, compile_multi_isa
+from repro.popcorn import (
+    ISAImage,
+    LivenessMetadata,
+    MultiISABinary,
+    Symbol,
+    SymbolKind,
+    XELFError,
+    dump_xelf,
+    load_xelf,
+    read_xelf,
+    write_xelf,
+)
+
+
+def compiled(name="app", loc=500, functions=("kernel",)):
+    return compile_multi_isa(CodeModel(name, loc, tuple(functions)))
+
+
+class TestRoundTrip:
+    def test_pipeline_artifact_round_trips(self):
+        original = compiled()
+        payload = write_xelf(original.binary, original.metadata)
+        binary, metadata = read_xelf(payload)
+
+        assert binary.name == original.binary.name
+        assert binary.isas == original.binary.isas
+        assert binary.addresses == original.binary.addresses
+        assert binary.size_bytes == original.binary.size_bytes
+        for isa in binary.isas:
+            assert binary.images[isa] == original.binary.images[isa]
+        assert len(metadata) == len(original.metadata)
+        for point_id, point in original.metadata.points.items():
+            restored = metadata.point(point_id)
+            assert restored.function == point.function
+            assert restored.offset == point.offset
+            assert restored.live_vars == point.live_vars
+
+    def test_metadata_optional(self):
+        original = compiled()
+        binary, metadata = read_xelf(write_xelf(original.binary))
+        assert len(metadata) == 0
+        assert binary.name == original.binary.name
+
+    def test_file_round_trip(self, tmp_path):
+        original = compiled("fileapp", loc=900)
+        path = tmp_path / "fileapp.xelf"
+        size = dump_xelf(path, original.binary, original.metadata)
+        assert path.stat().st_size == size
+        binary, metadata = load_xelf(path)
+        assert binary.name == "fileapp"
+        assert len(metadata) == len(original.metadata)
+
+    def test_transformer_works_on_reloaded_metadata(self):
+        """The reloaded metadata drives a real state transformation."""
+        from repro.popcorn import MachineState, StateTransformer
+        from repro.popcorn.migration_points import CType
+
+        original = compiled()
+        _binary, metadata = read_xelf(write_xelf(original.binary, original.metadata))
+        transformer = StateTransformer(metadata)
+        point = metadata.points_in("kernel")[0]
+        values = {
+            var.name: (1.25 if CType.is_float(var.ctype) else 3)
+            for var in point.live_vars
+        }
+        frame = transformer.build_frame("kernel", point, values, "x86_64")
+        state = MachineState(isa="x86_64", frames=[frame])
+        back = transformer.transform(transformer.transform(state, "aarch64"), "x86_64")
+        assert back.frames[0].registers == frame.registers
+        assert back.frames[0].stack == frame.stack
+
+    @given(
+        loc=st.integers(min_value=1, max_value=5000),
+        n_functions=st.integers(min_value=1, max_value=5),
+        name=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, loc, n_functions, name):
+        original = compiled(name, loc, tuple(f"fn{i}" for i in range(n_functions)))
+        binary, metadata = read_xelf(write_xelf(original.binary, original.metadata))
+        assert binary.name == name
+        assert binary.addresses == original.binary.addresses
+        assert len(metadata) == len(original.metadata)
+
+
+class TestCorruption:
+    def payload(self):
+        original = compiled()
+        return write_xelf(original.binary, original.metadata)
+
+    def test_bad_magic_rejected(self):
+        data = b"ELF!" + self.payload()[4:]
+        with pytest.raises(XELFError, match="magic"):
+            read_xelf(data)
+
+    def test_bad_version_rejected(self):
+        data = bytearray(self.payload())
+        data[4] = 99
+        with pytest.raises(XELFError, match="version"):
+            read_xelf(bytes(data))
+
+    @pytest.mark.parametrize("cut", [5, 12, 40, -20, -1])
+    def test_truncation_rejected(self, cut):
+        data = self.payload()
+        with pytest.raises(XELFError):
+            read_xelf(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XELFError, match="trailing"):
+            read_xelf(self.payload() + b"\x00")
+
+    def test_empty_rejected(self):
+        with pytest.raises(XELFError):
+            read_xelf(b"")
+
+    def test_simple_manual_binary(self):
+        binary = MultiISABinary(
+            "manual",
+            images={"x86_64": ISAImage("x86_64", 100, 50, 10)},
+            symbols=[Symbol("f", SymbolKind.FUNCTION, {"x86_64": 64})],
+        )
+        restored, metadata = read_xelf(write_xelf(binary, LivenessMetadata([])))
+        assert restored.isas == ("x86_64",)
+        assert restored.symbols[0].name == "f"
+        assert len(metadata) == 0

@@ -1,0 +1,87 @@
+"""Tests for IR-level instrumentation (compiler step B on the VM substrate)."""
+
+import pytest
+
+from repro.popcorn.minic import parse_minic
+from repro.popcorn.vm import (
+    MigratableVM,
+    MigrationPointInstr,
+    Ret,
+    VMError,
+    compile_program,
+    instrument_program,
+)
+
+SOURCE = """
+func main(n) {
+    let total = 0;
+    let i = 0;
+    while i < n {
+        total = total + helper(i);
+        i = i + 1;
+    }
+    return total;
+}
+func helper(x) {
+    if x % 2 == 0 { return x * x; }
+    return x;
+}
+"""
+
+
+def expected(n):
+    return sum(i * i if i % 2 == 0 else i for i in range(n))
+
+
+class TestInstrumentation:
+    def test_points_inserted_at_entry_and_returns(self):
+        program = instrument_program(parse_minic(SOURCE), ["helper"])
+        helper = program.function("helper")
+        assert isinstance(helper.body[0], MigrationPointInstr)
+        assert helper.body[0].tag == "entry"
+        # One point before each of the two Rets (plus entry).
+        points = [i for i in helper.body if isinstance(i, MigrationPointInstr)]
+        rets = [i for i in helper.body if isinstance(i, Ret)]
+        assert len(points) == 1 + len(rets)
+        # Unselected functions untouched.
+        assert not any(
+            isinstance(i, MigrationPointInstr)
+            for i in program.function("main").body
+        )
+
+    def test_instrumented_program_computes_the_same(self):
+        plain = MigratableVM(compile_program(parse_minic(SOURCE))).run(10)
+        instrumented = instrument_program(parse_minic(SOURCE), ["helper", "main"])
+        result = MigratableVM(compile_program(instrumented)).run(10)
+        assert result == plain == expected(10)
+
+    def test_jump_targets_survive_insertion(self):
+        # main's while loop uses @pc jumps; instrumenting main shifts
+        # every instruction, and the loop must still terminate/compute.
+        instrumented = instrument_program(parse_minic(SOURCE), ["main"])
+        result = MigratableVM(compile_program(instrumented)).run(7)
+        assert result == expected(7)
+
+    def test_migrations_fire_at_inserted_points(self):
+        instrumented = instrument_program(parse_minic(SOURCE), ["helper"])
+        compiled = compile_program(instrumented)
+
+        def ping_pong(vm, _fn, _tag, _point):
+            vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        vm = MigratableVM(compiled, migration_hook=ping_pong)
+        result = vm.run(8)
+        assert result == expected(8)
+        # Every call passes the entry point; even-x calls also pass the
+        # fall-through return point (odd x branches straight to its
+        # Ret, bypassing that return's guard — see instrument_program).
+        assert vm.migrations == 8 + 4
+
+    def test_idempotent_on_already_instrumented(self):
+        once = instrument_program(parse_minic(SOURCE), ["helper"])
+        twice = instrument_program(once, ["helper"])
+        assert len(twice.function("helper").body) == len(once.function("helper").body)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(VMError, match="undefined"):
+            instrument_program(parse_minic(SOURCE), ["ghost"])

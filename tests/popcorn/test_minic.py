@@ -1,0 +1,178 @@
+"""Tests for the MiniC front end: parse, compile, run, migrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.popcorn.minic import MiniCError, compile_minic, parse_minic
+from repro.popcorn.vm import MigratableVM
+
+FACT = """
+// recursive factorial with a migration point on every activation
+func fact(n) {
+    migrate_point entry;
+    if n <= 1 { return 1; }
+    return n * fact(n - 1);
+}
+"""
+
+FIB = """
+func fib(n) {
+    if n < 2 { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+"""
+
+GCD = """
+func gcd(a, b) {
+    while b != 0 {
+        migrate_point loop;
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+"""
+
+COLLATZ = """
+func collatz(n) {
+    let steps = 0;
+    while n != 1 {
+        migrate_point;
+        if n % 2 == 0 { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}
+"""
+
+HEAP = """
+// store squares into the heap, then sum them back
+func heap_sum(n) {
+    let i = 0;
+    while i < n {
+        store(i, i * i);
+        i = i + 1;
+    }
+    let acc = 0;
+    i = 0;
+    while i < n {
+        migrate_point;
+        acc = acc + load(i);
+        i = i + 1;
+    }
+    return acc;
+}
+"""
+
+
+def run_source(source: str, *args, hook=None):
+    vm = MigratableVM(compile_minic(source), migration_hook=hook)
+    return vm.run(*args), vm
+
+
+class TestPrograms:
+    def test_factorial(self):
+        result, _vm = run_source(FACT, 10)
+        assert result == 3628800
+
+    def test_fibonacci(self):
+        result, _vm = run_source(FIB, 15)
+        assert result == 610
+
+    def test_gcd(self):
+        assert run_source(GCD, 1071, 462)[0] == 21
+        assert run_source(GCD, 17, 5)[0] == 1
+
+    def test_collatz(self):
+        assert run_source(COLLATZ, 27)[0] == 111
+
+    def test_heap_program(self):
+        result, _vm = run_source(HEAP, 20)
+        assert result == sum(i * i for i in range(20))
+
+    def test_unary_minus_and_precedence(self):
+        source = """
+        func f(a, b) {
+            return -a + b * 3 - (a + b) % 5;
+        }
+        """
+        result, _vm = run_source(source, 7, 4)
+        assert result == -7 + 4 * 3 - (7 + 4) % 5
+
+    def test_implicit_return_zero(self):
+        result, _vm = run_source("func f() { let x = 5; }")
+        assert result == 0
+
+    def test_multi_function_entry_is_first(self):
+        source = """
+        func main(n) { return helper(n) + 1; }
+        func helper(n) { return n * 2; }
+        """
+        result, _vm = run_source(source, 10)
+        assert result == 21
+
+    def test_comments_ignored(self):
+        result, _vm = run_source("// hi\nfunc f() { return 3; } // bye")
+        assert result == 3
+
+
+class TestMigrationThroughMiniC:
+    def test_every_point_migration_preserves_results(self):
+        def ping_pong(vm, _fn, _tag, _point):
+            vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        for source, args, expected in (
+            (FACT, (11,), 39916800),
+            (GCD, (252, 105), 21),
+            (COLLATZ, (19,), 20),
+            (HEAP, (25,), sum(i * i for i in range(25))),
+        ):
+            plain, _ = run_source(source, *args)
+            migrated, vm = run_source(source, *args, hook=ping_pong)
+            assert plain == migrated == expected
+            assert vm.migrations > 0
+
+    @given(
+        a=st.integers(min_value=1, max_value=500),
+        b=st.integers(min_value=1, max_value=500),
+        schedule=st.lists(st.booleans(), max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gcd_under_random_schedules(self, a, b, schedule):
+        import math
+
+        it = iter(schedule)
+
+        def scheduled(vm, _fn, _tag, _point):
+            if next(it, False):
+                vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        result, _vm = run_source(GCD, a, b, hook=scheduled)
+        assert result == math.gcd(a, b)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("func f( { }", "bad parameter"),
+            ("func f() { return x; }", "undeclared"),
+            ("func f() { x = 1; }", "undeclared"),
+            ("func f() { let x = 1 }", "expected"),
+            ("func f() { } func f() { }", "redefined"),
+            ("let x = 1;", "expected 'func'"),
+            ("func f() { return g(); }", "undefined function"),
+            ("", "no functions"),
+            ("func f() { @ }", "lexical error"),
+        ],
+    )
+    def test_bad_programs_rejected(self, source, message):
+        with pytest.raises(MiniCError, match=message):
+            compile_minic(source)
+
+    def test_parse_only_api(self):
+        program = parse_minic(FACT)
+        assert program.entry == "fact"
+        assert "fact" in program.functions

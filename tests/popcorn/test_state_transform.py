@@ -1,0 +1,254 @@
+"""Unit + property tests for migration points and the state transformer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.popcorn import (
+    CType,
+    Frame,
+    LivenessMetadata,
+    MachineState,
+    MetadataError,
+    MigrationPoint,
+    RegisterLoc,
+    StackLoc,
+    StateTransformer,
+    TransformError,
+    allocate_locations,
+)
+
+
+# -- CType wire encoding -------------------------------------------------------
+class TestCType:
+    @pytest.mark.parametrize(
+        "ctype,value",
+        [
+            (CType.I32, -(2**31)),
+            (CType.I32, 2**31 - 1),
+            (CType.I64, -(2**63)),
+            (CType.I64, 2**63 - 1),
+            (CType.PTR, 0xFFFF_FFFF_FFFF_FFFF),
+            (CType.F64, 3.141592653589793),
+            (CType.F32, 1.5),
+        ],
+    )
+    def test_pack_unpack_round_trip(self, ctype, value):
+        assert CType.unpack(ctype, CType.pack(ctype, value)) == value
+
+    def test_slots_are_8_bytes(self):
+        for ctype in CType.ALL:
+            assert len(CType.pack(ctype, 0)) == 8
+
+    def test_sizes(self):
+        assert CType.size(CType.I32) == 4
+        assert CType.size(CType.F64) == 8
+        with pytest.raises(MetadataError):
+            CType.size("i128")
+
+    @given(st.floats(allow_nan=False, allow_infinity=True))
+    @settings(max_examples=50, deadline=None)
+    def test_f64_exact_round_trip(self, value):
+        assert CType.unpack(CType.F64, CType.pack(CType.F64, value)) == value
+
+
+# -- location allocation ---------------------------------------------------------
+class TestAllocateLocations:
+    def test_layouts_differ_across_isas(self):
+        # x86-64 has 5 callee-saved registers, AArch64 has 10: with 8
+        # integer variables, x86 spills and ARM does not.
+        live_vars = allocate_locations([(f"v{i}", CType.I64) for i in range(8)])
+        x86_spills = sum(
+            isinstance(v.location("x86_64"), StackLoc) for v in live_vars
+        )
+        arm_spills = sum(
+            isinstance(v.location("aarch64"), StackLoc) for v in live_vars
+        )
+        assert x86_spills == 3 and arm_spills == 0
+
+    def test_floats_always_spill(self):
+        (var,) = allocate_locations([("x", CType.F64)])
+        assert isinstance(var.location("x86_64"), StackLoc)
+        assert isinstance(var.location("aarch64"), StackLoc)
+
+    def test_no_two_vars_share_a_location(self):
+        live_vars = allocate_locations(
+            [(f"v{i}", CType.I64 if i % 2 else CType.F64) for i in range(12)]
+        )
+        for isa in ("x86_64", "aarch64"):
+            locations = [str(v.location(isa)) for v in live_vars]
+            assert len(locations) == len(set(locations))
+
+    def test_reserve_regs_holds_back_registers(self):
+        live_vars = allocate_locations(
+            [(f"v{i}", CType.I64) for i in range(10)], reserve_regs=3
+        )
+        x86_regs = {
+            v.location("x86_64").register
+            for v in live_vars
+            if isinstance(v.location("x86_64"), RegisterLoc)
+        }
+        assert len(x86_regs) == 2  # 5 callee-saved minus 3 reserved
+
+    def test_deterministic(self):
+        spec = [(f"v{i}", CType.I64) for i in range(6)]
+        assert allocate_locations(spec) == allocate_locations(spec)
+
+
+# -- metadata ---------------------------------------------------------------
+class TestMetadata:
+    def test_duplicate_point_ids_rejected(self):
+        point = MigrationPoint(1, "f", 0, tuple(allocate_locations([("a", "i64")])))
+        with pytest.raises(MetadataError):
+            LivenessMetadata([point, point])
+
+    def test_lookup_by_function(self):
+        points = [
+            MigrationPoint(1, "f", 0, ()),
+            MigrationPoint(2, "g", 0, ()),
+            MigrationPoint(3, "f", 8, ()),
+        ]
+        metadata = LivenessMetadata(points)
+        assert [p.point_id for p in metadata.points_in("f")] == [1, 3]
+        assert metadata.points_in("missing") == []
+        with pytest.raises(MetadataError):
+            metadata.point(99)
+
+    def test_frame_bytes_counts_spills(self):
+        live_vars = allocate_locations([(f"v{i}", CType.F64) for i in range(3)])
+        point = MigrationPoint(1, "f", 0, tuple(live_vars))
+        assert point.frame_bytes("x86_64") == 3 * 8 + 8
+
+    def test_bad_stack_offset_rejected(self):
+        with pytest.raises(MetadataError):
+            StackLoc(-8)
+        with pytest.raises(MetadataError):
+            StackLoc(12)
+
+
+# -- the transformer ----------------------------------------------------------
+VALUE_STRATEGY = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1).map(lambda v: ("i32", v)),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1).map(lambda v: ("i64", v)),
+    st.integers(min_value=0, max_value=2**64 - 1).map(lambda v: ("ptr", v)),
+    st.floats(allow_nan=False).map(lambda v: ("f64", v)),
+)
+
+
+def build_state(var_specs, depth=1):
+    """A metadata + state pair with `depth` frames of the given variables."""
+    live_vars = allocate_locations([(f"v{i}", t) for i, (t, _v) in enumerate(var_specs)])
+    points = [
+        MigrationPoint(i + 1, f"fn{i}", 0, tuple(live_vars)) for i in range(depth)
+    ]
+    metadata = LivenessMetadata(points)
+    transformer = StateTransformer(metadata)
+    values = {f"v{i}": v for i, (_t, v) in enumerate(var_specs)}
+    frames = [
+        transformer.build_frame(f"fn{i}", points[i], values, "x86_64", 0x1000 + i)
+        for i in range(depth)
+    ]
+    return transformer, MachineState(isa="x86_64", frames=frames), values
+
+
+class TestTransformer:
+    @given(
+        specs=st.lists(VALUE_STRATEGY, min_size=1, max_size=12),
+        depth=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_is_bitwise_identity(self, specs, depth):
+        transformer, state, _values = build_state(specs, depth)
+        back = transformer.transform(
+            transformer.transform(state, "aarch64"), "x86_64"
+        )
+        assert back.depth == state.depth
+        for orig, restored in zip(state.frames, back.frames):
+            assert restored.registers == orig.registers
+            assert restored.stack == orig.stack
+            assert restored.return_address == orig.return_address
+
+    @given(specs=st.lists(VALUE_STRATEGY, min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_values_preserved_on_destination(self, specs):
+        transformer, state, values = build_state(specs)
+        on_arm = transformer.transform(state, "aarch64")
+        assert on_arm.isa == "aarch64"
+        recovered = transformer.read_live_values(on_arm.frames[0], "aarch64")
+        assert recovered == values
+        assert transformer.states_equivalent(state, on_arm)
+
+    def test_transform_to_same_isa_is_copy(self):
+        transformer, state, _ = build_state([("i64", 7)])
+        copy = transformer.transform(state, "x86_64")
+        assert copy is not state
+        assert copy.frames[0].registers == state.frames[0].registers
+
+    def test_source_state_not_mutated(self):
+        transformer, state, _ = build_state([("i64", 7), ("f64", 1.5)])
+        snapshot = state.copy()
+        transformer.transform(state, "aarch64")
+        assert state.frames[0].registers == snapshot.frames[0].registers
+        assert state.frames[0].stack == snapshot.frames[0].stack
+
+    def test_missing_register_detected(self):
+        transformer, state, _ = build_state([("i64", 7)])
+        state.frames[0].registers.clear()
+        with pytest.raises(TransformError, match="expected in"):
+            transformer.transform(state, "aarch64")
+
+    def test_wrong_function_detected(self):
+        transformer, state, _ = build_state([("i64", 7)])
+        state.frames[0] = Frame(
+            function="not-the-function",
+            point_id=1,
+            registers=state.frames[0].registers,
+            stack=state.frames[0].stack,
+        )
+        with pytest.raises(TransformError, match="belongs to"):
+            transformer.transform(state, "aarch64")
+
+    def test_unknown_isa_rejected(self):
+        transformer, state, _ = build_state([("i64", 7)])
+        with pytest.raises(Exception):
+            transformer.transform(state, "riscv64")
+
+    def test_missing_value_on_encode_rejected(self):
+        transformer, state, _ = build_state([("i64", 7)])
+        point = transformer.metadata.point(1)
+        with pytest.raises(TransformError, match="missing value"):
+            transformer.build_frame("fn0", point, {}, "x86_64")
+
+    def test_stack_pointer_recomputed_and_aligned(self):
+        transformer, state, _ = build_state(
+            [("f64", 1.0)] * 6, depth=3
+        )  # all spilled: frame sizes differ per ISA only via padding
+        on_arm = transformer.transform(state, "aarch64")
+        assert on_arm.stack_pointer % 16 == 0
+        assert on_arm.stack_pointer < MachineState.stack_pointer
+
+    def test_cost_model_scales_with_state(self):
+        transformer, small, _ = build_state([("i64", 1)])
+        _, large, _ = build_state([("i64", 1)] * 12, depth=4)
+        assert transformer.transform_cost_seconds(
+            large
+        ) > transformer.transform_cost_seconds(small)
+        assert transformer.transform_cost_seconds(small) > 0
+
+    def test_states_equivalent_rejects_different_depths(self):
+        transformer, one, _ = build_state([("i64", 1)])
+        _, two, _ = build_state([("i64", 1)], depth=2)
+        assert not transformer.states_equivalent(one, two)
+
+    def test_size_accounting(self):
+        _, state, _ = build_state([("i64", 1)] * 4, depth=2)
+        assert state.size_bytes() > 0
+        assert state.live_value_count() == 8
+
+    def test_empty_state_has_no_active_frame(self):
+        state = MachineState(isa="x86_64", frames=[])
+        with pytest.raises(TransformError):
+            _ = state.active_frame
+        assert not math.isnan(state.size_bytes())

@@ -1,0 +1,337 @@
+"""Tests for the migratable VM: execution migration, end to end.
+
+Programs run under arbitrary migration schedules must produce results
+bit-identical to an unmigrated run — the transparency guarantee of the
+whole system, exercised at the instruction level.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.popcorn.migration_points import CType
+from repro.popcorn.vm import (
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Function,
+    Jump,
+    Load,
+    MigratableVM,
+    MigrationPointInstr,
+    Program,
+    Ret,
+    Store,
+    VMError,
+    compile_program,
+)
+
+I64 = CType.I64
+
+
+def sum_to_n_program() -> Program:
+    """``sum(n) = 0 + 1 + ... + n`` with a migration point per iteration."""
+    body = (
+        Const("acc", 0),                       # 0
+        Const("i", 0),                         # 1
+        # loop:
+        MigrationPointInstr("loop-top"),       # 2
+        BinOp("gt", "t", "i", "n"),            # 3
+        Branch("t", "@8"),                     # 4 -> exit
+        BinOp("add", "acc", "acc", "i"),       # 5
+        Const("one", 1),                       # 6  (re-set each iter; harmless)
+        Jump("@9"),                            # 7 -> increment
+        Ret("acc"),                            # 8
+        BinOp("add", "i", "i", "one"),         # 9
+        Jump("@2"),                            # 10
+    )
+    fn = Function(
+        name="sum_to_n",
+        params=("n",),
+        variables=(("n", I64), ("acc", I64), ("i", I64), ("t", I64), ("one", I64)),
+        body=body,
+    )
+    return Program(functions={fn.name: fn}, entry="sum_to_n")
+
+
+def factorial_program() -> Program:
+    """Recursive factorial: multi-frame stacks cross the migration."""
+    body = (
+        MigrationPointInstr("entry"),          # 0
+        Const("one", 1),                       # 1
+        BinOp("le", "t", "n", "one"),          # 2
+        Branch("t", "@8"),                     # 3
+        BinOp("sub", "m", "n", "one"),         # 4
+        Call("r", "fact", ("m",)),             # 5
+        BinOp("mul", "r", "r", "n"),           # 6
+        Ret("r"),                              # 7
+        Ret("one"),                            # 8
+    )
+    fn = Function(
+        name="fact",
+        params=("n",),
+        variables=(("n", I64), ("one", I64), ("t", I64), ("m", I64), ("r", I64)),
+        body=body,
+    )
+    return Program(functions={fn.name: fn}, entry="fact")
+
+
+def heap_sum_program(n_words: int) -> Program:
+    """Fill heap[0:n] with squares, then sum them back (Load/Store)."""
+    body = (
+        Const("i", 0),
+        Const("acc", 0),
+        Const("one", 1),
+        # fill loop @3:
+        BinOp("ge", "t", "i", "n"),            # 3
+        Branch("t", "@9"),                     # 4
+        BinOp("mul", "sq", "i", "i"),          # 5
+        Store("sq", "i"),                      # 6
+        BinOp("add", "i", "i", "one"),         # 7
+        Jump("@3"),                            # 8
+        Const("i", 0),                         # 9
+        # sum loop @10:
+        MigrationPointInstr("sum-top"),        # 10
+        BinOp("ge", "t", "i", "n"),            # 11
+        Branch("t", "@17"),                    # 12
+        Load("v", "i"),                        # 13
+        BinOp("add", "acc", "acc", "v"),       # 14
+        BinOp("add", "i", "i", "one"),         # 15
+        Jump("@10"),                           # 16
+        Ret("acc"),                            # 17
+    )
+    fn = Function(
+        name="heap_sum",
+        params=("n",),
+        variables=(
+            ("n", I64), ("i", I64), ("acc", I64), ("one", I64),
+            ("t", I64), ("sq", I64), ("v", I64),
+        ),
+        body=body,
+    )
+    return Program(functions={fn.name: fn}, entry="heap_sum")
+
+
+def run(program, *args, hook=None, isa="x86_64"):
+    vm = MigratableVM(compile_program(program), isa=isa, migration_hook=hook)
+    return vm.run(*args), vm
+
+
+class TestExecution:
+    def test_sum_to_n(self):
+        result, _vm = run(sum_to_n_program(), 10)
+        assert result == 55
+
+    def test_factorial_recursion(self):
+        result, _vm = run(factorial_program(), 10)
+        assert result == 3628800
+
+    def test_heap_load_store(self):
+        result, _vm = run(heap_sum_program(8), 20)
+        assert result == sum(i * i for i in range(20))
+
+    def test_runs_identically_on_both_isas(self):
+        for isa in ("x86_64", "aarch64"):
+            result, _vm = run(factorial_program(), 8, isa=isa)
+            assert result == 40320
+
+    def test_uninitialized_read_rejected(self):
+        fn = Function(
+            "f", params=(), variables=(("x", I64),), body=(Ret("x"),)
+        )
+        # Locals are zero-initialized at frame entry, so this returns 0 —
+        # but reading an *undeclared* variable is an error.
+        result, _vm = run(Program({"f": fn}, "f"))
+        assert result == 0
+        bad = Function("g", params=(), variables=(("x", I64),), body=(Ret("y"),))
+        with pytest.raises(VMError, match="undeclared"):
+            run(Program({"g": bad}, "g"))
+
+    def test_division_by_zero(self):
+        fn = Function(
+            "f",
+            params=(),
+            variables=(("a", I64), ("b", I64), ("c", I64)),
+            body=(Const("a", 1), Const("b", 0), BinOp("div", "c", "a", "b"), Ret("c")),
+        )
+        with pytest.raises(VMError, match="division"):
+            run(Program({"f": fn}, "f"))
+
+    def test_heap_bounds_checked(self):
+        program = heap_sum_program(4)
+        vm = MigratableVM(compile_program(program), heap_words=4)
+        with pytest.raises(VMError, match="out of bounds"):
+            vm.run(10)
+
+    def test_step_budget(self):
+        fn = Function(
+            "spin", params=(), variables=(("x", I64),), body=(Jump("@0"), Ret("x"))
+        )
+        vm = MigratableVM(compile_program(Program({"spin": fn}, "spin")), max_steps=100)
+        with pytest.raises(VMError, match="budget"):
+            vm.run()
+
+    def test_missing_ret_detected(self):
+        fn = Function("f", params=(), variables=(("x", I64),), body=(Const("x", 1),))
+        with pytest.raises(VMError, match="fell off"):
+            run(Program({"f": fn}, "f"))
+
+    def test_i32_wraps_like_c(self):
+        fn = Function(
+            "f",
+            params=(),
+            variables=(("a", "i32"), ("b", "i32"), ("c", "i32")),
+            body=(
+                Const("a", 2**31 - 1),
+                Const("b", 1),
+                BinOp("add", "c", "a", "b"),
+                Ret("c"),
+            ),
+        )
+        result, _vm = run(Program({"f": fn}, "f"))
+        assert result == -(2**31)
+
+
+class TestMigration:
+    def test_migrate_every_point_same_result(self):
+        def ping_pong(vm, _fn, _tag, _point):
+            vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        plain, _ = run(sum_to_n_program(), 100)
+        migrated, vm = run(sum_to_n_program(), 100, hook=ping_pong)
+        assert migrated == plain == 5050
+        assert vm.migrations == 102  # i = 0..100 plus the exit check visit
+
+    def test_migration_with_deep_recursion(self):
+        calls = {"n": 0}
+
+        def migrate_at_depth(vm, _fn, _tag, _point):
+            calls["n"] += 1
+            if calls["n"] % 3 == 0:
+                vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        plain, _ = run(factorial_program(), 12)
+        migrated, vm = run(factorial_program(), 12, hook=migrate_at_depth)
+        assert migrated == plain == 479001600
+        assert vm.migrations >= 2
+
+    def test_heap_survives_migration(self):
+        # Heap memory is the DSM-shared part: untouched by the
+        # register/stack transformation.
+        def migrate_once(vm, _fn, tag, _point):
+            if vm.migrations == 0:
+                vm.migrate("aarch64")
+
+        plain, _ = run(heap_sum_program(64), 50)
+        migrated, vm = run(heap_sum_program(64), 50, hook=migrate_once)
+        assert migrated == plain
+        assert vm.isa == "aarch64"
+
+    @given(
+        n=st.integers(min_value=0, max_value=60),
+        schedule=st.lists(st.booleans(), min_size=0, max_size=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_migration_schedule_is_transparent(self, n, schedule):
+        """Property: a random migrate/stay decision at every migration
+        point never changes the program's result."""
+        it = iter(schedule)
+
+        def scheduled(vm, _fn, _tag, _point):
+            if next(it, False):
+                vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        plain, _ = run(sum_to_n_program(), n)
+        migrated, _ = run(sum_to_n_program(), n, hook=scheduled)
+        assert migrated == plain == n * (n + 1) // 2
+
+    def test_vm_state_is_transformable_snapshot(self):
+        snapshots = []
+
+        def capture(vm, _fn, _tag, point):
+            if len(snapshots) == 3:
+                state = vm.state
+                snapshots.append(
+                    vm.transformer.read_live_values(state.frames[-1], vm.isa)
+                )
+            else:
+                snapshots.append(None)
+
+        run(sum_to_n_program(), 10, hook=capture)
+        values = snapshots[3]
+        assert values is not None
+        assert values["i"] == 3  # fourth visit to the loop top
+        assert values["acc"] == 0 + 1 + 2
+
+
+class TestWorkingSetAccounting:
+    def test_clean_thread_migrates_no_pages(self):
+        def migrate_once(vm, _fn, _tag, _point):
+            if vm.migrations == 0:
+                vm.migrate("aarch64")
+
+        _result, vm = run(sum_to_n_program(), 20, hook=migrate_once)
+        assert vm.pages_migrated == 0  # no Store instructions executed
+
+    def test_dirty_pages_counted_once_per_migration(self):
+        def migrate_once(vm, _fn, _tag, _point):
+            if vm.migrations == 0:
+                vm.migrate("aarch64")
+
+        # heap_sum writes n words before its migration point; n=50
+        # words span one 512-word page.
+        _result, vm = run(heap_sum_program(64), 50, hook=migrate_once)
+        assert vm.pages_migrated == 1
+
+    def test_larger_working_sets_move_more_pages(self):
+        def migrate_once(vm, _fn, _tag, _point):
+            if vm.migrations == 0:
+                vm.migrate("aarch64")
+
+        # 1200 words -> 3 pages of 512 words.
+        _result, vm = run(heap_sum_program(2048), 1200, hook=migrate_once)
+        assert vm.pages_migrated == 3
+
+    def test_dirty_set_resets_between_migrations(self):
+        def ping_pong(vm, _fn, _tag, _point):
+            vm.migrate("aarch64" if vm.isa == "x86_64" else "x86_64")
+
+        # All Stores happen before the (single) migration point in the
+        # sum loop, so only the first hop moves the page; later hops
+        # move nothing new.
+        _result, vm = run(heap_sum_program(64), 30, hook=ping_pong)
+        assert vm.pages_migrated == 1
+
+
+class TestProgramValidation:
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(VMError, match="duplicate"):
+            Function("f", params=(), variables=(("x", I64), ("x", I64)), body=(Ret(),))
+
+    def test_undeclared_param_rejected(self):
+        with pytest.raises(VMError, match="params not declared"):
+            Function("f", params=("p",), variables=(("x", I64),), body=(Ret(),))
+
+    def test_bad_entry_rejected(self):
+        fn = Function("f", params=(), variables=(("x", I64),), body=(Ret(),))
+        with pytest.raises(VMError, match="entry"):
+            Program({"f": fn}, entry="ghost")
+
+    def test_undefined_named_label_rejected_at_compile(self):
+        fn = Function(
+            "f", params=(), variables=(("x", I64),), body=(Jump("nowhere"), Ret())
+        )
+        with pytest.raises(VMError, match="undefined label"):
+            compile_program(Program({"f": fn}, "f"))
+
+    def test_wrong_arity_call(self):
+        callee = Function("g", params=("a",), variables=(("a", I64),), body=(Ret("a"),))
+        caller = Function(
+            "f",
+            params=(),
+            variables=(("r", I64),),
+            body=(Call("r", "g", ()), Ret("r")),
+        )
+        with pytest.raises(VMError, match="expected 1 args"):
+            run(Program({"f": caller, "g": callee}, "f"))

@@ -1,0 +1,130 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        first, second, third = res.request(), res.request(), res.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert res.count == 2
+        assert res.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        third = res.request()
+        res.release(first)
+        assert second.triggered and not third.triggered
+        res.release(second)
+        assert third.triggered
+
+    def test_release_of_queued_request_cancels_it(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        res.release(second)  # cancel while queued
+        res.release(first)
+        assert not second.triggered
+        assert res.count == 0
+
+    def test_double_release_is_noop(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        req = res.request()
+        res.release(req)
+        res.release(req)
+        assert res.count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_with_statement_in_process(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            with res.request() as req:
+                yield req
+                order.append((f"{name}-in", sim.now))
+                yield sim.timeout(hold)
+            order.append((f"{name}-out", sim.now))
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.run()
+        assert order == [("a-in", 0.0), ("a-out", 2.0), ("b-in", 2.0), ("b-out", 3.0)]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = store.get()
+        assert not got.triggered
+        store.put("late")
+        assert got.triggered and got.value == "late"
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        values = [store.get().value for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_bounded_store_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered and not second.triggered
+        got = store.get()
+        assert got.value == "a"
+        assert second.triggered  # freed room admits the blocked put
+
+    def test_producer_consumer_processes(self):
+        sim = Simulator()
+        store = Store(sim)
+        consumed = []
+
+        def producer():
+            for i in range(3):
+                yield sim.timeout(1.0)
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                consumed.append((sim.now, item))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert consumed == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+    def test_len_reports_queued_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert len(store) == 0
+        store.put("x")
+        store.put("y")
+        assert len(store) == 2

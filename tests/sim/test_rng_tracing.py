@@ -1,0 +1,75 @@
+"""Unit tests for seeded RNG streams and the tracer."""
+
+from repro.sim import RandomStreams, Tracer
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42).stream("jobs").random(10)
+        b = RandomStreams(42).stream("jobs").random(10)
+        assert (a == b).all()
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("jobs").random(10)
+        b = streams.stream("arrivals").random(10)
+        assert not (a == b).all()
+
+    def test_adding_a_stream_does_not_perturb_others(self):
+        plain = RandomStreams(7)
+        first = plain.stream("a").random(5)
+
+        interleaved = RandomStreams(7)
+        interleaved.stream("new-consumer").random(100)  # extra consumer
+        second = interleaved.stream("a").random(5)
+        assert (first == second).all()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_children_are_independent(self):
+        parent = RandomStreams(3)
+        child_a = parent.spawn("a").stream("s").random(5)
+        child_b = parent.spawn("b").stream("s").random(5)
+        parent_s = parent.stream("s").random(5)
+        assert not (child_a == child_b).all()
+        assert not (child_a == parent_s).all()
+
+
+class TestTracer:
+    def test_records_with_clock(self):
+        clock = [0.0]
+        tracer = Tracer(clock=lambda: clock[0])
+        tracer.record("cat", "hello", key=1)
+        clock[0] = 5.0
+        tracer.record("cat", "world", key=2)
+        assert [r.time for r in tracer.records] == [0.0, 5.0]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("cat", "msg")
+        assert tracer.records == []
+
+    def test_filter_by_category_and_data(self):
+        tracer = Tracer()
+        tracer.record("a", "one", node="x")
+        tracer.record("b", "two", node="x")
+        tracer.record("a", "three", node="y")
+        assert [r.message for r in tracer.filter("a")] == ["one", "three"]
+        assert [r.message for r in tracer.filter("a", node="x")] == ["one"]
+        assert tracer.count(node="x") == 2
+
+    def test_clear_and_dump(self):
+        tracer = Tracer()
+        tracer.record("cat", "msg")
+        assert "msg" in tracer.dump()
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.dump() == ""
+
+    def test_bind_clock_later(self):
+        tracer = Tracer()
+        tracer.bind_clock(lambda: 9.0)
+        tracer.record("cat", "late")
+        assert tracer.records[0].time == 9.0

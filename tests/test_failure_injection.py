@@ -1,0 +1,127 @@
+"""Failure injection: the system degrades gracefully, never wedges.
+
+Faults covered: FPGA programming failures (the scheduler retries on the
+next request) and mid-flight kernel-run faults (the application falls
+back to x86 and still completes correctly).
+"""
+
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.hardware import ALVEO_U50, FPGADevice
+from repro.sim import SimulationError, Simulator
+from repro.types import Target
+from repro.xrt import XRTError
+
+
+class FakeImage:
+    name = "img"
+    size_bytes = 1_000_000
+    kernel_names = ("k1",)
+
+
+class TestDeviceFaults:
+    def test_failed_reconfiguration_leaves_device_clean(self):
+        sim = Simulator()
+        device = FPGADevice(sim, ALVEO_U50)
+        device.inject_reconfig_failures(1)
+        done = device.configure(FakeImage())
+        done.defused = True
+        sim.run()
+        assert not done.ok
+        assert device.configured_image is None
+        assert not device.reconfiguring
+        assert device.failed_reconfigurations == 1
+
+    def test_retry_after_failure_succeeds(self):
+        sim = Simulator()
+        device = FPGADevice(sim, ALVEO_U50)
+        device.inject_reconfig_failures(1)
+        first = device.configure(FakeImage())
+        first.defused = True
+        sim.run()
+        second = device.configure(FakeImage())
+        sim.run_until_event(second)
+        assert device.has_kernel("k1")
+
+    def test_negative_injection_rejected(self):
+        device = FPGADevice(Simulator(), ALVEO_U50)
+        with pytest.raises(SimulationError):
+            device.inject_reconfig_failures(-1)
+
+
+class TestXRTRunFaults:
+    def test_injected_run_fault_fails_event(self):
+        runtime = build_system(["digit.2000"])
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        runtime.xrt.inject_run_failures("KNL_HW_DR200", 1)
+        done = runtime.xrt.run_kernel("KNL_HW_DR200", 1000, 100, duration=1.0)
+        done.defused = True
+        runtime.platform.run()
+        assert not done.ok
+        assert isinstance(done.value, XRTError)
+        assert runtime.xrt.failed_runs == 1
+        assert runtime.xrt.active_runs == 0  # no leaked occupancy
+
+    def test_next_run_succeeds(self):
+        runtime = build_system(["digit.2000"])
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        runtime.xrt.inject_run_failures("KNL_HW_DR200", 1)
+        bad = runtime.xrt.run_kernel("KNL_HW_DR200", 0, 0, duration=0.5)
+        bad.defused = True
+        runtime.platform.run()
+        good = runtime.xrt.run_kernel("KNL_HW_DR200", 0, 0, duration=0.5)
+        run = runtime.platform.sim.run_until_event(good)
+        assert run.kernel_name == "KNL_HW_DR200"
+
+
+class TestApplicationResilience:
+    def test_kernel_fault_falls_back_to_x86(self):
+        runtime = build_system(["digit.2000"])
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        runtime.xrt.inject_run_failures("KNL_HW_DR200", 1)
+        record = runtime.platform.sim.run_until_event(
+            runtime.launch("digit.2000", mode=SystemMode.XAR_TREK, functional=True)
+        )
+        assert record.fpga_fallbacks == 1
+        assert record.targets == [Target.X86]
+        assert record.verified is True  # results unaffected by the fault
+        # The fallback cost: half an aborted kernel + the x86 function.
+        assert record.elapsed_s > 3.5
+
+    def test_scheduler_survives_reconfig_failure_and_retries(self):
+        runtime = build_system(["digit.2000"])
+        runtime.platform.fpga.inject_reconfig_failures(1)
+        load = runtime.launch_background(30, work_s=60.0)
+        # First run: reconfig kicked off (and will fail); app lands on ARM.
+        first = runtime.platform.sim.run_until_event(
+            runtime.launch("digit.2000", mode=SystemMode.XAR_TREK, delay_s=0.01)
+        )
+        assert first.targets[0] in (Target.ARM, Target.X86)
+        assert runtime.server.stats.reconfigurations_failed == 1
+        # Second run: the retry succeeds and the FPGA serves it (run
+        # until the fresh reconfiguration completes).
+        second = runtime.platform.sim.run_until_event(
+            runtime.launch("digit.2000", mode=SystemMode.XAR_TREK)
+        )
+        third = runtime.platform.sim.run_until_event(
+            runtime.launch("digit.2000", mode=SystemMode.XAR_TREK)
+        )
+        load.stop()
+        assert runtime.server.stats.reconfigurations_started >= 2
+        assert Target.FPGA in (*second.targets, *third.targets)
+
+    def test_repeated_faults_never_wedge_the_run(self):
+        runtime = build_system(["digit.2000"])
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        runtime.xrt.inject_run_failures("KNL_HW_DR200", 5)
+        records = [
+            runtime.platform.sim.run_until_event(
+                runtime.launch("digit.2000", seed=i, mode=SystemMode.XAR_TREK)
+            )
+            for i in range(6)
+        ]
+        assert all(r.finished for r in records)
+        assert sum(r.fpga_fallbacks for r in records) == 5
+        # Once the injected faults are exhausted, the FPGA serves again.
+        assert records[-1].targets == [Target.FPGA]

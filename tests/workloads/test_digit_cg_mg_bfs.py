@@ -1,0 +1,191 @@
+"""Unit tests for digit recognition, NPB CG, NPB MG, and BFS."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.bfs import bfs_benchmark, bfs_levels, make_graph
+from repro.workloads.digit_recognition import (
+    DIGIT_BITS,
+    accuracy,
+    classify,
+    generate_dataset,
+    hamming_distance,
+)
+from repro.workloads.npb_cg import (
+    CLASS_A_SMALL,
+    CLASS_S,
+    cg_benchmark,
+    conj_grad,
+    make_matrix,
+)
+from repro.workloads.npb_mg import CLASS_B_SMALL, MGClass, mg_benchmark, residual, v_cycle
+
+
+class TestDigitRecognition:
+    def test_hamming_distance_matches_naive(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, size=(5, DIGIT_BITS)).astype(np.uint8)
+        b = rng.integers(0, 2, size=(7, DIGIT_BITS)).astype(np.uint8)
+        distances = hamming_distance(a, b)
+        for i in range(5):
+            for j in range(7):
+                assert distances[i, j] == np.count_nonzero(a[i] != b[j])
+
+    def test_high_accuracy_on_synthetic_data(self):
+        data = generate_dataset(1000, 300, seed=2)
+        predictions = classify(data.test, data.train, data.train_labels, k=3)
+        assert accuracy(predictions, data.test_labels) >= 0.95
+
+    def test_deterministic(self):
+        a = generate_dataset(100, 50, seed=4)
+        b = generate_dataset(100, 50, seed=4)
+        assert np.array_equal(a.train, b.train)
+        pred_a = classify(a.test, a.train, a.train_labels)
+        pred_b = classify(b.test, b.train, b.train_labels)
+        assert np.array_equal(pred_a, pred_b)
+
+    def test_exact_prototype_is_its_own_neighbour(self):
+        data = generate_dataset(500, 100, seed=1, noise_bits=0)
+        predictions = classify(data.test, data.train, data.train_labels, k=1)
+        assert accuracy(predictions, data.test_labels) == 1.0
+
+    def test_k_validation(self):
+        data = generate_dataset(10, 5, seed=0)
+        with pytest.raises(ValueError):
+            classify(data.test, data.train, data.train_labels, k=0)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+        assert accuracy(np.zeros(0), np.zeros(0)) == 0.0
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_noise_monotonically_hurts_at_extremes(self, noise):
+        # Not strictly monotone per draw, but bounded: any noise level
+        # keeps accuracy above chance on this well-separated set.
+        data = generate_dataset(300, 60, seed=5, noise_bits=noise)
+        predictions = classify(data.test, data.train, data.train_labels)
+        assert accuracy(predictions, data.test_labels) > 0.3
+
+    def test_packed_bytes_metric(self):
+        data = generate_dataset(100, 50, seed=0)
+        assert data.bytes_packed == 32 * 150
+
+
+class TestCG:
+    def test_matrix_is_symmetric_positive_definite(self):
+        matrix = make_matrix(CLASS_S, seed=1)
+        n = matrix.n
+        # Symmetry: A x . y == x . A y for random x, y.
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        assert np.dot(matrix.matvec_fast(x), y) == pytest.approx(
+            np.dot(x, matrix.matvec_fast(y))
+        )
+        # Positive definiteness via diagonal dominance: x.Ax > 0.
+        for _ in range(5):
+            v = rng.normal(size=n)
+            assert np.dot(v, matrix.matvec_fast(v)) > 0
+
+    def test_matvec_fast_matches_reference(self):
+        matrix = make_matrix(CLASS_S, seed=2)
+        x = np.random.default_rng(1).normal(size=matrix.n)
+        assert np.allclose(matrix.matvec(x), matrix.matvec_fast(x))
+
+    def test_conj_grad_reduces_residual(self):
+        matrix = make_matrix(CLASS_S, seed=3)
+        x = np.ones(matrix.n)
+        _z, residual_norm = conj_grad(matrix, x, cgitmax=25)
+        assert residual_norm < 1e-8 * np.sqrt(matrix.n)
+
+    def test_benchmark_converges(self):
+        result = cg_benchmark(CLASS_A_SMALL, seed=314159)
+        assert result.iterations == CLASS_A_SMALL.niter
+        # zeta is converging: relative drift per outer iteration shrinks
+        # well below 0.5% by the end.
+        drift = abs(result.zeta_history[-1] - result.zeta_history[-2])
+        assert drift / abs(result.zeta) < 5e-3
+        assert result.zeta > CLASS_A_SMALL.shift  # shift + positive term
+
+    def test_deterministic(self):
+        assert cg_benchmark(CLASS_S, seed=7).zeta == cg_benchmark(CLASS_S, seed=7).zeta
+
+    def test_csr_size_accounting(self):
+        matrix = make_matrix(CLASS_S, seed=1)
+        assert matrix.bytes_csr == (
+            matrix.indptr.nbytes + matrix.indices.nbytes + matrix.data.nbytes
+        )
+
+
+class TestMG:
+    def test_v_cycle_reduces_residual(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=(16, 16, 16))
+        v -= v.mean()
+        u = np.zeros_like(v)
+        r0 = float(np.sqrt(np.mean(residual(u, v) ** 2)))
+        u = v_cycle(u, v)
+        r1 = float(np.sqrt(np.mean(residual(u, v) ** 2)))
+        assert r1 < 0.5 * r0
+
+    def test_benchmark_reaches_deep_reduction(self):
+        result = mg_benchmark(CLASS_B_SMALL, seed=271828)
+        assert result.reduction < 1e-6
+        # Monotone decreasing residual history.
+        for a, b in zip(result.history, result.history[1:]):
+            assert b <= a * 1.01
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            MGClass("bad", size=17, niter=1)
+        with pytest.raises(ValueError):
+            MGClass("bad", size=2, niter=1)
+
+    def test_deterministic(self):
+        a = mg_benchmark(MGClass("t", 16, 3), seed=9)
+        b = mg_benchmark(MGClass("t", 16, 3), seed=9)
+        assert a.history == b.history
+
+
+class TestBFS:
+    def test_levels_match_networkx(self):
+        graph = make_graph(400, avg_degree=6, seed=3)
+        levels = bfs_levels(graph, source=0)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(graph.n_nodes))
+        for v in range(graph.n_nodes):
+            for u in graph.neighbors[graph.indptr[v] : graph.indptr[v + 1]]:
+                nx_graph.add_edge(v, int(u))
+        reference = nx.single_source_shortest_path_length(nx_graph, 0)
+        for node, depth in reference.items():
+            assert levels[node] == depth
+
+    def test_generator_guarantees_connectivity(self):
+        for seed in range(5):
+            result = bfs_benchmark(200, seed=seed)
+            assert result.reached == 200
+
+    def test_source_validation(self):
+        graph = make_graph(10, seed=0)
+        with pytest.raises(ValueError):
+            bfs_levels(graph, source=10)
+        with pytest.raises(ValueError):
+            make_graph(1)
+
+    def test_graph_shape(self):
+        graph = make_graph(100, avg_degree=8, seed=1)
+        assert graph.n_nodes == 100
+        assert graph.indptr[0] == 0
+        assert graph.indptr[-1] == graph.n_edges
+        # Undirected: adjacency is symmetric.
+        assert graph.n_edges % 2 == 0
+        assert graph.degree(0) >= 2  # ring backbone
+
+    def test_deterministic(self):
+        a = bfs_benchmark(300, seed=4)
+        b = bfs_benchmark(300, seed=4)
+        assert np.array_equal(a.levels, b.levels)

@@ -1,0 +1,165 @@
+"""Unit + property tests for PGM images and the face detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.workloads.face_detection import (
+    Detection,
+    detect_faces,
+    integral_image,
+    match_detections,
+)
+from repro.workloads.images import (
+    FACE_SIZE,
+    PGMError,
+    decode_pgm,
+    encode_pgm,
+    face_template,
+    generate_face_image,
+)
+
+
+class TestPGM:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, size=(17, 23), dtype=np.uint8)
+        assert np.array_equal(decode_pgm(encode_pgm(image)), image)
+
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=40),
+                st.integers(min_value=1, max_value=40),
+            ),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, image):
+        assert np.array_equal(decode_pgm(encode_pgm(image)), image)
+
+    def test_comments_in_header(self):
+        image = np.zeros((2, 3), dtype=np.uint8)
+        data = encode_pgm(image)
+        commented = data.replace(b"P5\n", b"P5\n# a comment\n")
+        assert np.array_equal(decode_pgm(commented), image)
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [b"P6\n2 2\n255\n" + b"\x00" * 4, b"P5\n2 2\n65535\n" + b"\x00" * 4,
+         b"P5\n2 2\n255\n\x00\x00", b"P5\n2"],
+    )
+    def test_malformed_rejected(self, corrupt):
+        with pytest.raises(PGMError):
+            decode_pgm(corrupt)
+
+    def test_encode_validates_input(self):
+        with pytest.raises(PGMError):
+            encode_pgm(np.zeros((2, 2, 3), dtype=np.uint8))
+        with pytest.raises(PGMError):
+            encode_pgm(np.zeros((2, 2), dtype=np.float64))
+
+
+class TestIntegralImage:
+    def test_matches_naive_sums(self):
+        rng = np.random.default_rng(1)
+        image = rng.integers(0, 256, size=(12, 9)).astype(np.uint8)
+        sat = integral_image(image)
+        for y0, y1, x0, x1 in [(0, 5, 0, 5), (2, 9, 3, 8), (0, 12, 0, 9)]:
+            naive = image[y0:y1, x0:x1].sum()
+            via_sat = sat[y1, x1] - sat[y0, x1] - sat[y1, x0] + sat[y0, x0]
+            assert via_sat == naive
+
+    @given(
+        hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(min_value=2, max_value=30),
+                st.integers(min_value=2, max_value=30),
+            ),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_sum_property(self, image):
+        sat = integral_image(image)
+        assert sat[-1, -1] == image.sum(dtype=np.float64)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            integral_image(np.zeros((2, 2, 2)))
+
+
+class TestGenerator:
+    def test_truths_within_bounds_and_non_overlapping(self):
+        rng = np.random.default_rng(5)
+        image, truths = generate_face_image(320, 240, 6, rng, scales=(1.0, 2.0))
+        assert image.shape == (240, 320)
+        assert len(truths) == 6
+        for x, y, size in truths:
+            assert 0 <= x <= 320 - size
+            assert 0 <= y <= 240 - size
+        for i, (x1, y1, s1) in enumerate(truths):
+            for x2, y2, s2 in truths[i + 1:]:
+                overlap_x = max(0, min(x1 + s1, x2 + s2) - max(x1, x2))
+                overlap_y = max(0, min(y1 + s1, y2 + s2) - max(y1, y2))
+                assert overlap_x * overlap_y == 0
+
+    def test_template_has_the_cascade_contrasts(self):
+        face = face_template().astype(float)
+        eyes = face[FACE_SIZE // 4 : FACE_SIZE * 5 // 12].mean()
+        cheeks = face[FACE_SIZE * 5 // 12 : FACE_SIZE * 2 // 3].mean()
+        forehead = face[: FACE_SIZE // 4].mean()
+        assert cheeks - eyes > 45
+        assert forehead - eyes > 45
+
+
+class TestDetector:
+    def test_high_recall_zero_false_positives_on_synthetic_set(self):
+        rng = np.random.default_rng(42)
+        found = planted = false_pos = 0
+        for _trial in range(6):
+            image, truths = generate_face_image(
+                320, 240, 5, rng, scales=(1.0, 1.5, 2.0)
+            )
+            detections = detect_faces(image)
+            matched = match_detections(detections, truths)
+            found += matched
+            planted += len(truths)
+            false_pos += len(detections) - matched
+        assert found / planted >= 0.9
+        assert false_pos <= 2
+
+    def test_blank_image_yields_nothing(self):
+        image = np.full((240, 320), 128, dtype=np.uint8)
+        assert detect_faces(image) == []
+
+    def test_noise_image_yields_nothing(self):
+        rng = np.random.default_rng(3)
+        image = rng.integers(0, 256, size=(240, 320)).astype(np.uint8)
+        assert detect_faces(image) == []
+
+    def test_single_planted_face_found_at_position(self):
+        rng = np.random.default_rng(9)
+        image, truths = generate_face_image(160, 120, 1, rng, noise_std=0.0)
+        (detection,) = detect_faces(image)
+        x, y, size = truths[0]
+        assert abs(detection.x - x) <= 4
+        assert abs(detection.y - y) <= 4
+        assert detection.size == size
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(11)
+        image, _ = generate_face_image(320, 240, 4, rng)
+        assert detect_faces(image) == detect_faces(image)
+
+    def test_tiny_image_handled(self):
+        image = np.zeros((10, 10), dtype=np.uint8)
+        assert detect_faces(image) == []
+
+    def test_match_detections_each_truth_used_once(self):
+        det = Detection(x=10, y=10, size=24, score=1.0)
+        truths = [(10, 10, 24), (12, 12, 24)]
+        assert match_detections([det], truths) == 1

@@ -1,0 +1,79 @@
+"""Unit tests for the spam-filter extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.types import Target
+from repro.workloads import create_workload, profile_for
+from repro.workloads.spam_filter import (
+    N_FEATURES,
+    accuracy,
+    generate_dataset,
+    predict,
+    sigmoid,
+    train_sgd,
+)
+
+
+class TestFunctional:
+    def test_sigmoid_properties(self):
+        z = np.array([-100.0, -1.0, 0.0, 1.0, 100.0])
+        s = sigmoid(z)
+        assert np.all((s >= 0) & (s <= 1))
+        assert s[2] == pytest.approx(0.5)
+        assert np.allclose(s + sigmoid(-z), 1.0)
+
+    def test_training_learns_the_separation(self):
+        data = generate_dataset(900, 200, seed=3)
+        weights = train_sgd(data.train_x, data.train_y, seed=1)
+        test_accuracy = accuracy(predict(weights, data.test_x), data.test_y)
+        assert test_accuracy >= 0.9
+        # Better than the untrained classifier.
+        chance = accuracy(predict(np.zeros(N_FEATURES), data.test_x), data.test_y)
+        assert test_accuracy > chance
+
+    def test_deterministic(self):
+        data = generate_dataset(100, 50, seed=5)
+        a = train_sgd(data.train_x, data.train_y, epochs=2, seed=9)
+        b = train_sgd(data.train_x, data.train_y, epochs=2, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        data = generate_dataset(50, 20, seed=0)
+        with pytest.raises(ValueError):
+            train_sgd(data.train_x, data.train_y, epochs=0)
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(2), np.zeros(3))
+
+    def test_dataset_shapes(self):
+        data = generate_dataset(80, 40, seed=1)
+        assert data.train_x.shape == (80, N_FEATURES)
+        assert data.bytes_packed == 4 * N_FEATURES * 120
+
+
+class TestIntegration:
+    def test_registered_and_verifiable(self):
+        workload = create_workload("spam.1024")
+        inp = workload.generate_input(seed=2)
+        assert workload.verify(inp, workload.run_kernel(inp))
+
+    def test_profile_is_fpga_friendly(self):
+        profile = profile_for("spam.1024")
+        assert profile.x86_fpga_s < profile.vanilla_x86_s  # FPGA wins idle
+        assert profile.x86_arm_s > profile.vanilla_x86_s
+
+    def test_full_pipeline_and_scheduler_accept_it(self):
+        runtime = build_system(["spam.1024"], seed=1)
+        entry = runtime.server.thresholds.entry("spam.1024")
+        assert entry.fpga_threshold == 0  # FPGA beats idle x86
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        load = runtime.launch_background(30, work_s=30.0)
+        record = runtime.platform.sim.run_until_event(
+            runtime.launch(
+                "spam.1024", mode=SystemMode.XAR_TREK, functional=True, delay_s=0.01
+            )
+        )
+        load.stop()
+        assert record.targets == [Target.FPGA]
+        assert record.verified is True
