@@ -10,7 +10,10 @@ Commands:
 * ``compile`` — run the compiler pipeline (steps A-G) over a set of
   applications, print the artifact summary, optionally dump XELF
   binaries to a directory;
-* ``thresholds`` — print step G's threshold table (Table 2's format).
+* ``thresholds`` — print step G's threshold table (Table 2's format);
+* ``metrics`` — run an instrumented application set (Figure-5-style by
+  default) and print/export the metrics report (see
+  ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -94,6 +97,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     thresholds = sub.add_parser("thresholds", help="print step G's table")
     thresholds.add_argument("--apps", nargs="+", default=list(PAPER_BENCHMARKS))
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented application set and report p50/p95/p99",
+    )
+    metrics.add_argument("--apps", nargs="+", default=None,
+                         help="explicit app list (default: sample like Figure 5)")
+    metrics.add_argument("--set-size", type=int, default=10,
+                         help="sampled set size when --apps is not given")
+    metrics.add_argument("--total-processes", type=int, default=120,
+                         help="target process count incl. MG-B background")
+    metrics.add_argument("--mode", choices=sorted(_MODES), default="xar-trek")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the snapshot as deterministic JSON")
+    metrics.add_argument("--csv", default=None, metavar="FILE",
+                         help="also write the snapshot as deterministic CSV")
     return parser
 
 
@@ -228,6 +248,34 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.experiments.observability import high_load_metrics, metrics_experiment
+
+    mode = _MODES[args.mode]
+    if args.apps:
+        background = max(0, args.total_processes - len(args.apps))
+        run = metrics_experiment(
+            args.apps, mode=mode, background=background, seed=args.seed
+        )
+    else:
+        run = high_load_metrics(
+            set_size=args.set_size,
+            total_processes=args.total_processes,
+            mode=mode,
+            seed=args.seed,
+        )
+    print(run.report().to_text())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(run.to_json())
+        print(f"json        : {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(run.to_csv())
+        print(f"csv         : {args.csv}")
+    return 0
+
+
 def _cmd_thresholds(apps: list[str]) -> int:
     result = XarTrekCompiler().compile(spec_for(apps))
     print(result.thresholds.to_text(), end="")
@@ -251,6 +299,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compile(args)
     if args.command == "thresholds":
         return _cmd_thresholds(args.apps)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

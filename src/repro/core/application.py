@@ -108,6 +108,20 @@ class ApplicationRun:
             app=app.name, mode=mode, seed=seed, start_s=math.nan
         )
         self._thread: Optional[PopcornThread] = None
+        metrics = runtime.metrics
+        #: End-to-end per-call latency: target selection (scheduler
+        #: round-trip under Xar-Trek) + function execution wherever it
+        #: ran, labeled by the target that actually served the call.
+        self._m_latency = metrics.histogram(
+            "invocation_latency_seconds",
+            "end-to-end per-invocation latency by serving target",
+            labelnames=("target",),
+        )
+        self._m_invocations = metrics.counter(
+            "invocations_total",
+            "function invocations by application and serving target",
+            labelnames=("app", "target"),
+        )
 
     # -- public API ------------------------------------------------------------
     def start(self) -> Event:
@@ -161,6 +175,12 @@ class ApplicationRun:
         output = workload.run_kernel(inp)
         self.record.verified = workload.verify(inp, output)
 
+    def _observe_call(self, target: Target, started_at: float) -> None:
+        self._m_latency.labels(target=str(target)).observe(
+            self.runtime.platform.now - started_at
+        )
+        self._m_invocations.labels(app=self.app.name, target=str(target)).inc()
+
     def _deadline_passed(self) -> bool:
         if self.deadline_s is None:
             return False
@@ -179,8 +199,10 @@ class ApplicationRun:
             call_cost = (
                 self.profile.per_call_host_s + self.profile.func_x86_s
             ) * slowdown
+            call_started = self.runtime.platform.now
             yield arm.execute(call_cost, tag=self.app.name)
             self.record.targets.append(Target.ARM)
+            self._observe_call(Target.ARM, call_started)
             self.record.calls_completed += 1
 
     def _run_with_x86_host(self):
@@ -193,8 +215,12 @@ class ApplicationRun:
                 break
             if profile.per_call_host_s > 0:
                 yield x86.execute(profile.per_call_host_s, tag=self.app.name)
+            call_started = self.runtime.platform.now
             target = yield from self._choose_target()
             yield from self._execute_function(target)
+            # The serving target may differ from the decision (FPGA
+            # fallback); the record's tail is what actually ran.
+            self._observe_call(self.record.targets[-1], call_started)
             self.record.calls_completed += 1
 
     def _choose_target(self):

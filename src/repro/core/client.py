@@ -14,6 +14,9 @@ refines the threshold table that step G estimated statically:
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.metrics import MetricsRegistry
 from repro.thresholds import ThresholdEntry
 from repro.types import Target
 
@@ -33,10 +36,21 @@ class UpdateOutcome:
 class ThresholdUpdater:
     """Executes Algorithm 1 against a shared threshold table entry."""
 
-    def __init__(self, increase_step: float = 1.0):
+    def __init__(
+        self,
+        increase_step: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if increase_step <= 0:
             raise ValueError(f"increase_step must be positive, got {increase_step}")
         self.increase_step = increase_step
+        self._outcomes = None
+        if metrics is not None:
+            self._outcomes = metrics.counter(
+                "threshold_updates_total",
+                "Algorithm 1 passes by outcome",
+                labelnames=("outcome",),
+            )
 
     def update(
         self,
@@ -74,4 +88,6 @@ class ThresholdUpdater:
         # Lines 1-2: the record itself (kept last so the comparisons
         # above used the *previous* observation, as in the paper).
         entry.record(target, exec_seconds)
+        if self._outcomes is not None:
+            self._outcomes.labels(outcome=outcome).inc()
         return outcome

@@ -130,11 +130,14 @@ class XarTrekRuntime:
         self.result = result
         self.early_configure = early_configure
         self.platform = platform or paper_testbed()
+        self.metrics = self.platform.metrics
         self.xrt = XRTDevice(
             self.platform.sim,
             self.platform.fpga,
             self.platform.pcie,
             tracer=self.platform.tracer,
+            metrics=self.metrics,
+            host_cpu=self.platform.x86.cpu,
         )
         self.dsm: Optional[DSM] = None
         if use_dsm:
@@ -145,7 +148,9 @@ class XarTrekRuntime:
             self.dsm.add_node(str(Target.ARM))
         self._popcorn: dict[str, PopcornRuntime] = {}
         self.updater = (
-            ThresholdUpdater(increase_step=threshold_increase_step)
+            ThresholdUpdater(
+                increase_step=threshold_increase_step, metrics=self.metrics
+            )
             if dynamic_thresholds
             else None
         )

@@ -15,11 +15,11 @@ time exactly like the real client/server pair.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.policy import Decision, decide
 from repro.hardware.platform import HeterogeneousPlatform
+from repro.metrics import MetricsRegistry
 from repro.sim import Event, Store, Tracer
 from repro.thresholds import ThresholdTable
 from repro.types import Target
@@ -30,17 +30,78 @@ __all__ = ["SchedulerServer", "ServerStats"]
 #: One-way userspace socket latency on the host (localhost TCP).
 DEFAULT_SOCKET_LATENCY_S = 50e-6
 
+_TARGET_BY_NAME = {str(target): target for target in Target}
 
-@dataclass
+
 class ServerStats:
-    """Decision counters, by target and by Algorithm 2 rule."""
+    """Decision counters, by target and by Algorithm 2 rule.
 
-    requests: int = 0
-    by_target: dict[Target, int] = field(default_factory=dict)
-    by_rule: dict[str, int] = field(default_factory=dict)
-    reconfigurations_started: int = 0
-    reconfigurations_skipped: int = 0
-    reconfigurations_failed: int = 0
+    The counts live in the metrics registry; every attribute here is a
+    thin read-only view over those counters, so the stats API and a
+    metrics export can never disagree (they are the same numbers).
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        metrics = metrics or MetricsRegistry()
+        self._requests = metrics.counter(
+            "scheduler_requests_total", "scheduling requests served"
+        )
+        self._decisions = metrics.counter(
+            "scheduler_decisions_total",
+            "scheduling decisions by chosen target",
+            labelnames=("target",),
+        )
+        self._rules = metrics.counter(
+            "scheduler_decisions_by_rule_total",
+            "scheduling decisions by Algorithm 2 rule",
+            labelnames=("rule",),
+        )
+        self._reconf_started = metrics.counter(
+            "fpga_reconfigurations_started_total",
+            "background reconfigurations kicked off by the scheduler",
+        )
+        self._reconf_skipped = metrics.counter(
+            "fpga_reconfigurations_skipped_total",
+            "reconfigurations skipped (in flight, or kernels running)",
+        )
+        self._reconf_failed = metrics.counter(
+            "fpga_reconfigurations_failed_total",
+            "reconfigurations that failed to program the card",
+        )
+
+    # -- thin views over the counters ------------------------------------
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def by_target(self) -> dict[Target, int]:
+        return {
+            _TARGET_BY_NAME[key[0]]: int(count)
+            for key, count in self._decisions.as_dict().items()
+        }
+
+    @property
+    def by_rule(self) -> dict[str, int]:
+        return {key[0]: int(count) for key, count in self._rules.as_dict().items()}
+
+    @property
+    def reconfigurations_started(self) -> int:
+        return int(self._reconf_started.value)
+
+    @property
+    def reconfigurations_skipped(self) -> int:
+        return int(self._reconf_skipped.value)
+
+    @property
+    def reconfigurations_failed(self) -> int:
+        return int(self._reconf_failed.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServerStats(requests={self.requests}, by_target={self.by_target}, "
+            f"by_rule={self.by_rule})"
+        )
 
 
 class SchedulerServer:
@@ -69,7 +130,12 @@ class SchedulerServer:
         self.kernel_images = dict(kernel_images)
         self.socket_latency_s = socket_latency_s
         self.tracer = tracer or platform.tracer
-        self.stats = ServerStats()
+        self.metrics = platform.metrics
+        self.stats = ServerStats(self.metrics)
+        self._roundtrip = self.metrics.histogram(
+            "scheduler_roundtrip_seconds",
+            "client-observed request->reply latency (socket + queueing + decide)",
+        )
         self._requests: Store = Store(platform.sim)
         self._running = False
 
@@ -96,7 +162,12 @@ class SchedulerServer:
         """Client-side call: fires with the chosen :class:`Target`."""
         if not self._running:
             raise RuntimeError("scheduler server not started")
-        reply = self.platform.sim.event()
+        sim = self.platform.sim
+        reply = sim.event()
+        enqueued_at = sim.now
+        reply.callbacks.append(
+            lambda _ev: self._roundtrip.observe(sim.now - enqueued_at)
+        )
         self._requests.put((app_name, reply))
         return reply
 
@@ -120,11 +191,9 @@ class SchedulerServer:
         load = self.platform.x86_load + 1
         available = bool(entry.kernel_name) and self.xrt.has_kernel(entry.kernel_name)
         decision = self.policy(load, entry, available)
-        self.stats.requests += 1
-        self.stats.by_target[decision.target] = (
-            self.stats.by_target.get(decision.target, 0) + 1
-        )
-        self.stats.by_rule[decision.rule] = self.stats.by_rule.get(decision.rule, 0) + 1
+        self.stats._requests.inc()
+        self.stats._decisions.labels(target=str(decision.target)).inc()
+        self.stats._rules.labels(rule=decision.rule).inc()
         self.tracer.record(
             "scheduler",
             f"{app_name}: load={load} -> {decision.target} ({decision.rule})",
@@ -150,9 +219,9 @@ class SchedulerServer:
         if image is None:
             return
         if self.xrt.reconfiguring or self.xrt.active_runs:
-            self.stats.reconfigurations_skipped += 1
+            self.stats._reconf_skipped.inc()
             return
-        self.stats.reconfigurations_started += 1
+        self.stats._reconf_started.inc()
         self.tracer.record(
             "scheduler",
             f"reconfiguring FPGA with {image.name} for {kernel_name}",
@@ -164,7 +233,7 @@ class SchedulerServer:
 
         def on_outcome(event) -> None:
             if not event.ok:
-                self.stats.reconfigurations_failed += 1
+                self.stats._reconf_failed.inc()
                 self.tracer.record(
                     "scheduler",
                     f"reconfiguration with {image.name} failed; will retry "

@@ -16,6 +16,11 @@ from repro.experiments.harness import (
     sample_application_set,
 )
 from repro.experiments.loads import LoadClass, classify_load, table3_load_classes
+from repro.experiments.observability import (
+    MetricsRun,
+    high_load_metrics,
+    metrics_experiment,
+)
 from repro.experiments.periodic import (
     WaveLoad,
     figure7_periodic_execution,
@@ -24,7 +29,12 @@ from repro.experiments.periodic import (
     run_periodic_throughput,
 )
 from repro.experiments.profitability import figure9_profitability, profitability_point
-from repro.experiments.report import ExperimentResult, format_table, percent_gain
+from repro.experiments.report import (
+    ExperimentResult,
+    format_table,
+    metrics_section,
+    percent_gain,
+)
 from repro.experiments.sensitivity import (
     arm_capacity_sensitivity,
     background_duty_sensitivity,
@@ -44,6 +54,7 @@ __all__ = [
     "ExperimentResult",
     "LoadClass",
     "MODE_LABELS",
+    "MetricsRun",
     "SetOutcome",
     "Timeline",
     "TimelineEvent",
@@ -66,8 +77,11 @@ __all__ = [
     "fixed_workload_sweep",
     "format_table",
     "gains_over",
+    "high_load_metrics",
     "measure_scenario",
     "measure_throughput",
+    "metrics_experiment",
+    "metrics_section",
     "percent_gain",
     "profitability_point",
     "run_application_set",

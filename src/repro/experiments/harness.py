@@ -47,6 +47,10 @@ class SetOutcome:
     mode: SystemMode
     apps: tuple[str, ...]
     records: list[RunRecord] = field(default_factory=list)
+    #: The deployment's full metrics snapshot at measurement end
+    #: (:meth:`repro.metrics.MetricsRegistry.snapshot`), so percentile
+    #: tables and regression diffs don't need the live runtime.
+    metrics: Optional[dict] = None
 
     @property
     def average_s(self) -> float:
@@ -96,7 +100,12 @@ def run_application_set(
     records = runtime.wait_all(events)
     if load is not None:
         load.stop()
-    return SetOutcome(mode=mode, apps=tuple(apps), records=records)
+    return SetOutcome(
+        mode=mode,
+        apps=tuple(apps),
+        records=records,
+        metrics=runtime.metrics.snapshot(),
+    )
 
 
 def average_execution_time(

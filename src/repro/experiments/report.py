@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "percent_gain"]
+__all__ = ["ExperimentResult", "format_table", "metrics_section", "percent_gain"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -79,3 +79,46 @@ class ExperimentResult:
             if row[0] == key:
                 return row
         raise KeyError(f"{self.name} has no row {key!r}")
+
+
+def metrics_section(snapshot: dict, name: str = "Metrics") -> ExperimentResult:
+    """Render a metrics snapshot as one aligned table.
+
+    Histogram rows get count + p50/p95/p99 (milliseconds for metrics
+    named ``*_seconds``); counters and gauges get their value. Rows come
+    out in snapshot order, which is sorted, so the rendering is as
+    deterministic as the snapshot itself.
+    """
+    result = ExperimentResult(
+        name=name,
+        headers=["metric", "labels", "kind", "count/value", "p50", "p95", "p99"],
+    )
+    for family in snapshot.get("metrics", []):
+        in_ms = family["name"].endswith("_seconds")
+        unit = " ms" if in_ms else ""
+        scale = 1e3 if in_ms else 1.0
+
+        for series in family["series"]:
+            labels = ",".join(
+                f"{k}={series['labels'][k]}" for k in sorted(series["labels"])
+            ) or "-"
+            if family["type"] == "histogram":
+                pct = series["percentiles"]
+                result.rows.append([
+                    family["name"], labels, "histogram", series["count"],
+                    f"{pct['p50'] * scale:.3f}{unit}",
+                    f"{pct['p95'] * scale:.3f}{unit}",
+                    f"{pct['p99'] * scale:.3f}{unit}",
+                ])
+            elif family["type"] == "gauge":
+                result.rows.append([
+                    family["name"], labels, "gauge",
+                    f"{series['value']:g} (mean {series['time_weighted_mean']:.2f})",
+                    "-", "-", "-",
+                ])
+            else:
+                result.rows.append([
+                    family["name"], labels, "counter",
+                    f"{series['value']:g}", "-", "-", "-",
+                ])
+    return result

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.hardware.sharing import FairShareServer, Job
+from repro.metrics import MetricsRegistry
 from repro.sim import Event, Simulator, Tracer
 
 __all__ = ["CPUSpec", "CPUCluster"]
@@ -47,11 +48,27 @@ class CPUCluster:
     process-count-based definition of Table 3).
     """
 
-    def __init__(self, sim: Simulator, spec: CPUSpec, tracer: Optional[Tracer] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: CPUSpec,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.sim = sim
         self.spec = spec
         self.tracer = tracer or Tracer(enabled=False)
         self._server = FairShareServer(sim, spec.name, capacity=spec.cores, job_cap=1.0)
+        self._load_gauge = None
+        if metrics is not None:
+            # The scheduler's primary input, sampled on every job
+            # arrival and completion — a piecewise-constant timeline
+            # whose time-weighted mean is exact.
+            self._load_gauge = metrics.gauge(
+                "cpu_load",
+                "active compute jobs per CPU cluster",
+                labelnames=("cluster",),
+            ).labels(cluster=spec.name)
 
     # -- load metrics -------------------------------------------------------
     @property
@@ -73,10 +90,23 @@ class CPUCluster:
     def mean_load(self, since: float = 0.0) -> float:
         return self._server.mean_load(since)
 
+    def busy_core_seconds(self) -> float:
+        """Cumulative core-busy seconds served since t=0.
+
+        Differencing this across a window gives the CPU work executed
+        *during* that window — how reconfiguration-overlap accounting
+        measures the latency Algorithm 2 hides behind CPU execution.
+        """
+        return self._server.utilization(0.0) * self.sim.now * self._server.capacity
+
+    def _sample_load(self) -> None:
+        if self._load_gauge is not None:
+            self._load_gauge.set(self.load)
+
     # -- execution --------------------------------------------------------
     def execute(self, core_seconds: float, tag: Any = None) -> Event:
         """Run ``core_seconds`` of single-threaded work; returns done event."""
-        job = self._server.submit(core_seconds, tag=tag)
+        job = self.execute_job(core_seconds, tag=tag)
         self.tracer.record(
             "cpu",
             f"{self.spec.name}: job {job.job_id} submitted",
@@ -89,10 +119,15 @@ class CPUCluster:
 
     def execute_job(self, core_seconds: float, tag: Any = None) -> Job:
         """Like :meth:`execute` but returns the cancellable job handle."""
-        return self._server.submit(core_seconds, tag=tag)
+        job = self._server.submit(core_seconds, tag=tag)
+        if self._load_gauge is not None:
+            self._sample_load()
+            job.done.callbacks.append(lambda _ev: self._sample_load())
+        return job
 
     def cancel(self, job: Job) -> None:
         self._server.cancel(job)
+        self._sample_load()
 
     def predicted_time(self, core_seconds: float, extra_jobs: int = 0) -> float:
         """Time to finish ``core_seconds`` if the load stayed constant.

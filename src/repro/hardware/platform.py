@@ -14,6 +14,7 @@ from repro.hardware.cpu import CPUCluster, CPUSpec
 from repro.hardware.fpga import ALVEO_U50, FPGADevice, FPGASpec
 from repro.hardware.interconnect import ETHERNET_1GBPS, PCIE_GEN3_X16, Link, LinkSpec
 from repro.hardware.server import Server, ServerSpec
+from repro.metrics import MetricsRegistry
 from repro.sim import RandomStreams, Simulator, Tracer
 from repro.types import Target
 
@@ -48,6 +49,12 @@ class HeterogeneousPlatform:
         self.tracer = Tracer(enabled=trace)
         self.tracer.bind_clock(lambda: self.sim.now)
         self.rng = RandomStreams(seed)
+        #: The shared telemetry spine: every component attached to this
+        #: platform records into the same registry, timestamped by the
+        #: simulated clock and seeded by the platform RNG family.
+        self.metrics = MetricsRegistry(
+            clock=lambda: self.sim.now, rng=self.rng.spawn("metrics")
+        )
 
         self.ethernet = Link(self.sim, ethernet_spec, tracer=self.tracer)
         self.pcie = Link(self.sim, pcie_spec, tracer=self.tracer)
@@ -56,12 +63,14 @@ class HeterogeneousPlatform:
             ServerSpec(cpu=x86_spec, memory_bytes=64 * 2**30),
             nic=self.ethernet,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.arm = Server(
             self.sim,
             ServerSpec(cpu=arm_spec, memory_bytes=128 * 2**30),
             nic=self.ethernet,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.fpga = FPGADevice(self.sim, fpga_spec, tracer=self.tracer)
 

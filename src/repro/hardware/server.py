@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.hardware.cpu import CPUCluster, CPUSpec
 from repro.hardware.interconnect import Link
+from repro.metrics import MetricsRegistry
 from repro.sim import Simulator, Tracer
 
 __all__ = ["ServerSpec", "Server"]
@@ -33,10 +34,11 @@ class Server:
         spec: ServerSpec,
         nic: Optional[Link] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.spec = spec
-        self.cpu = CPUCluster(sim, spec.cpu, tracer=tracer)
+        self.cpu = CPUCluster(sim, spec.cpu, tracer=tracer, metrics=metrics)
         self.nic = nic
 
     @property

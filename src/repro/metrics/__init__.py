@@ -1,0 +1,32 @@
+"""Quantitative observability for the simulated Xar-Trek deployment.
+
+See :mod:`repro.metrics.core` for the data model (sim-clock counters,
+gauges, histograms in a :class:`MetricsRegistry`) and
+:mod:`repro.metrics.export` for the deterministic JSON/CSV exporters.
+``docs/observability.md`` walks through the wired-in metrics and the
+``python -m repro metrics`` CLI.
+"""
+
+from repro.metrics.core import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PERCENTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.metrics.export import flatten, to_csv, to_json
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PERCENTILES",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "flatten",
+    "to_csv",
+    "to_json",
+]

@@ -1,0 +1,75 @@
+"""Deterministic JSON/CSV exporters for metrics snapshots.
+
+Both exporters accept either a :class:`~repro.metrics.MetricsRegistry`
+or an already-taken snapshot dict, and emit byte-stable output (sorted
+keys, sorted series) so "same seed => identical export" is testable
+with plain string equality.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Union
+
+from repro.metrics.core import MetricsRegistry
+
+__all__ = ["to_json", "to_csv", "flatten"]
+
+
+def _as_snapshot(source: Union[MetricsRegistry, dict[str, Any]]) -> dict[str, Any]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()
+    return source
+
+
+def to_json(source: Union[MetricsRegistry, dict[str, Any]], indent: int = 2) -> str:
+    """The snapshot as deterministic JSON (sorted keys)."""
+    return json.dumps(_as_snapshot(source), indent=indent, sort_keys=True)
+
+
+def flatten(source: Union[MetricsRegistry, dict[str, Any]]) -> list[tuple[str, str, str, str, float]]:
+    """Flat ``(name, type, labels, field, value)`` rows, sorted.
+
+    Histogram buckets become ``bucket_le_<bound>`` fields and
+    percentiles ``p50``/``p90``/... — one scalar per row, which is what
+    a spreadsheet or a regression diff wants.
+    """
+    rows: list[tuple[str, str, str, str, float]] = []
+    for family in _as_snapshot(source)["metrics"]:
+        for series in family["series"]:
+            labels = ";".join(
+                f"{k}={series['labels'][k]}" for k in sorted(series["labels"])
+            )
+            for field, value in sorted(series.items()):
+                if field == "labels":
+                    continue
+                if field == "buckets":
+                    for bound, count in value:
+                        rows.append(
+                            (family["name"], family["type"], labels,
+                             f"bucket_le_{bound}", float(count))
+                        )
+                elif field == "percentiles":
+                    for pname in sorted(value):
+                        rows.append(
+                            (family["name"], family["type"], labels,
+                             pname, float(value[pname]))
+                        )
+                else:
+                    rows.append(
+                        (family["name"], family["type"], labels,
+                         field, float(value))
+                    )
+    return rows
+
+
+def to_csv(source: Union[MetricsRegistry, dict[str, Any]]) -> str:
+    """The snapshot as deterministic CSV (one scalar per row)."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["name", "type", "labels", "field", "value"])
+    for row in flatten(source):
+        writer.writerow(row)
+    return out.getvalue()

@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.hardware.fpga import FPGADevice
 from repro.hardware.interconnect import Link
+from repro.metrics import MetricsRegistry
 from repro.sim import Event, SimulationError, Simulator, Tracer
 
 __all__ = ["Buffer", "KernelRun", "XRTDevice", "XRTError"]
@@ -60,11 +61,17 @@ class XRTDevice:
         fpga: FPGADevice,
         pcie: Link,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        host_cpu=None,
     ):
+        """``host_cpu`` (a :class:`~repro.hardware.cpu.CPUCluster`) lets
+        the device account how much CPU work executed *while* the card
+        reconfigured — the latency Algorithm 2 hides."""
         self.sim = sim
         self.fpga = fpga
         self.pcie = pcie
         self.tracer = tracer or Tracer(enabled=False)
+        self.host_cpu = host_cpu
         self._buffer_ids = itertools.count(1)
         self._loaded_image = None
         #: In-flight kernel executions (the scheduler must not
@@ -73,6 +80,32 @@ class XRTDevice:
         self.completed_runs: list[KernelRun] = []
         self.failed_runs = 0
         self._fail_next_runs: dict[str, int] = {}
+        self.metrics = metrics or MetricsRegistry(clock=lambda: sim.now)
+        self._m_reconfig = self.metrics.histogram(
+            "fpga_reconfiguration_seconds",
+            "wall time of each FPGA reconfiguration (incl. failed)",
+        )
+        self._m_reconfig_total = self.metrics.counter(
+            "fpga_reconfiguration_seconds_total",
+            "total time spent programming the card",
+        )
+        self._m_overlap = self.metrics.counter(
+            "fpga_reconfig_overlap_core_seconds_total",
+            "x86 core-seconds executed while a reconfiguration was in flight",
+        )
+        self._m_occupancy = self.metrics.gauge(
+            "fpga_active_runs", "in-flight kernel invocations on the card"
+        )
+        self._m_kernel_runs = self.metrics.histogram(
+            "fpga_kernel_run_seconds",
+            "end-to-end h2d+execute+d2h time per kernel invocation",
+            labelnames=("kernel",),
+        )
+        self._m_run_failures = self.metrics.counter(
+            "fpga_kernel_failures_total",
+            "kernel invocations that failed mid-flight",
+            labelnames=("kernel",),
+        )
 
     # -- fault injection ---------------------------------------------------
     def inject_run_failures(self, kernel_name: str, count: int = 1) -> None:
@@ -98,7 +131,28 @@ class XRTDevice:
         ):
             raise XRTError("cannot load a different XCLBIN while kernels run")
         self._loaded_image = image
-        return self.fpga.configure(image)
+        reconfigs_before = self.fpga.reconfiguration_count
+        done = self.fpga.configure(image)
+        if self.fpga.reconfiguration_count > reconfigs_before:
+            # A real programming pass started (not a cache hit / shared
+            # in-flight wait): account its duration and how much host
+            # CPU work ran concurrently — the hidden latency.
+            started_at = self.sim.now
+            cpu_busy_before = (
+                self.host_cpu.busy_core_seconds() if self.host_cpu else 0.0
+            )
+
+            def account(_event: Event) -> None:
+                elapsed = self.sim.now - started_at
+                self._m_reconfig.observe(elapsed)
+                self._m_reconfig_total.inc(elapsed)
+                if self.host_cpu is not None:
+                    self._m_overlap.inc(
+                        max(0.0, self.host_cpu.busy_core_seconds() - cpu_busy_before)
+                    )
+
+            done.callbacks.append(account)
+        return done
 
     @property
     def ready(self) -> bool:
@@ -169,6 +223,7 @@ class XRTDevice:
         done = self.sim.event()
         started = self.sim.now
         self.active_runs += 1
+        self._m_occupancy.set(self.active_runs)
 
         fail_this_run = self._fail_next_runs.get(kernel_name, 0) > 0
         if fail_this_run:
@@ -190,10 +245,13 @@ class XRTDevice:
                     yield self.sync_from_device(out_buf)
             except SimulationError as exc:
                 self.active_runs -= 1
+                self._m_occupancy.set(self.active_runs)
                 self.failed_runs += 1
+                self._m_run_failures.labels(kernel=kernel_name).inc()
                 done.fail(XRTError(str(exc)))
                 return
             self.active_runs -= 1
+            self._m_occupancy.set(self.active_runs)
             run = KernelRun(
                 kernel_name=kernel_name,
                 bytes_in=bytes_in,
@@ -202,6 +260,7 @@ class XRTDevice:
                 finished_at=self.sim.now,
             )
             self.completed_runs.append(run)
+            self._m_kernel_runs.labels(kernel=kernel_name).observe(run.duration)
             self.tracer.record(
                 "xrt",
                 f"{kernel_name} run complete ({run.duration * 1e3:.2f} ms)",

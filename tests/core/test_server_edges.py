@@ -1,0 +1,97 @@
+"""Scheduler-server edge cases (Algorithm 2's guard rails).
+
+Covers the paths a healthy run never exercises: requests before the
+daemon starts, threshold entries naming kernels that were never
+compiled, reconfiguration attempts while the card is busy, and the
+programming-failure -> retry-on-next-request loop.
+"""
+
+import pytest
+
+from repro.core import build_system
+from repro.types import Target
+
+pytestmark = pytest.mark.metrics
+
+
+@pytest.fixture
+def runtime():
+    return build_system(["digit.2000"])
+
+
+class TestRequestLifecycle:
+    def test_request_before_start_raises(self, runtime):
+        runtime.server._running = False
+        with pytest.raises(RuntimeError, match="not started"):
+            runtime.server.request("digit.2000")
+        # No request was recorded, and starting again heals the server.
+        assert runtime.server.stats.requests == 0
+        runtime.server.start()
+        reply = runtime.server.request("digit.2000")
+        runtime.platform.sim.run_until_event(reply)
+        assert runtime.server.stats.requests == 1
+
+    def test_start_is_idempotent(self, runtime):
+        runtime.server.start()
+        runtime.server.start()
+        reply = runtime.server.request("digit.2000")
+        assert runtime.platform.sim.run_until_event(reply) in set(Target)
+
+
+class TestMaybeReconfigure:
+    def test_unknown_kernel_is_a_silent_noop(self, runtime):
+        runtime.server._maybe_reconfigure("no_such_kernel")
+        assert not runtime.xrt.reconfiguring
+        assert runtime.server.stats.reconfigurations_started == 0
+        assert runtime.server.stats.reconfigurations_skipped == 0
+
+    def test_skipped_while_reconfiguring(self, runtime):
+        kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
+        runtime.server._maybe_reconfigure(kernel)
+        assert runtime.xrt.reconfiguring
+        runtime.server._maybe_reconfigure(kernel)
+        assert runtime.server.stats.reconfigurations_started == 1
+        assert runtime.server.stats.reconfigurations_skipped == 1
+
+    def test_skipped_while_kernels_run(self, runtime):
+        kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        done = runtime.xrt.run_kernel(kernel, bytes_in=1024, bytes_out=64)
+        assert runtime.xrt.active_runs == 1
+        # Swapping under a running kernel is impossible: skip + count.
+        runtime.xrt.fpga._image = None  # force "kernel absent"
+        runtime.server._maybe_reconfigure(kernel)
+        assert runtime.server.stats.reconfigurations_started == 0
+        assert runtime.server.stats.reconfigurations_skipped == 1
+        runtime.xrt.fpga._image = runtime.image_for(kernel)
+        runtime.platform.sim.run_until_event(done)
+
+    def test_already_resident_kernel_is_free(self, runtime):
+        kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
+        runtime.platform.sim.run_until_event(runtime.preload_fpga())
+        runtime.server._maybe_reconfigure(kernel)
+        assert runtime.server.stats.reconfigurations_started == 0
+
+
+class TestReconfigurationFailure:
+    def test_failure_counted_and_retried_on_next_request(self, runtime):
+        runtime.platform.fpga.inject_reconfig_failures(1)
+        kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
+        runtime.server.preconfigure("digit.2000")
+        runtime.platform.sim.run()
+        assert runtime.server.stats.reconfigurations_failed == 1
+        assert not runtime.xrt.has_kernel(kernel)
+        # digit.2000's FPGA threshold is 0, so the next request retries.
+        reply = runtime.server.request("digit.2000")
+        runtime.platform.sim.run_until_event(reply)
+        assert runtime.server.stats.reconfigurations_started == 2
+        runtime.platform.sim.run()
+        assert runtime.xrt.has_kernel(kernel)
+        assert runtime.server.stats.reconfigurations_failed == 1
+
+    def test_failure_does_not_crash_the_simulation(self, runtime):
+        runtime.platform.fpga.inject_reconfig_failures(1)
+        runtime.server.preconfigure("digit.2000")
+        runtime.platform.sim.run()  # would raise if the failure escaped
+        failed = runtime.metrics.get("fpga_reconfigurations_failed_total")
+        assert failed.value == 1
