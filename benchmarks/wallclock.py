@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Standalone entry point for the wall-clock benchmark harness.
+
+Equivalent to ``python -m repro bench``; exists so the perf trajectory
+can be driven straight from the benchmarks directory:
+
+    PYTHONPATH=src python benchmarks/wallclock.py --quick
+    PYTHONPATH=src python benchmarks/wallclock.py --baseline BENCH_wallclock.json
+
+The timing machinery lives in :mod:`repro.experiments.wallclock`; the
+emitted ``BENCH_wallclock.json`` is documented in docs/performance.md.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -98,6 +98,22 @@ def _build_parser() -> argparse.ArgumentParser:
     thresholds = sub.add_parser("thresholds", help="print step G's table")
     thresholds.add_argument("--apps", nargs="+", default=list(PAPER_BENCHMARKS))
 
+    bench = sub.add_parser(
+        "bench",
+        help="time seeded figure-style scenarios (wall clock, events/sec)",
+    )
+    bench.add_argument("--scenarios", nargs="+", default=None,
+                       help="scenario names (default: all; see --list)")
+    bench.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list available scenarios and exit")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced configs for CI smoke runs")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--json", default="BENCH_wallclock.json", metavar="FILE",
+                       help="write the report here ('-' to skip)")
+    bench.add_argument("--baseline", default=None, metavar="FILE",
+                       help="earlier bench JSON to compute speedups against")
+
     metrics = sub.add_parser(
         "metrics",
         help="run an instrumented application set and report p50/p95/p99",
@@ -276,6 +292,27 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.wallclock import available_scenarios, run_bench
+
+    if args.list_scenarios:
+        for name in available_scenarios():
+            print(name)
+        return 0
+    report = run_bench(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        quick=args.quick,
+        baseline=args.baseline,
+    )
+    print(report.to_text())
+    if args.json and args.json != "-":
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"json        : {args.json}")
+    return 0
+
+
 def _cmd_thresholds(apps: list[str]) -> int:
     result = XarTrekCompiler().compile(spec_for(apps))
     print(result.thresholds.to_text(), end="")
@@ -301,6 +338,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_thresholds(args.apps)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

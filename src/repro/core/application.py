@@ -108,6 +108,11 @@ class ApplicationRun:
             app=app.name, mode=mode, seed=seed, start_s=math.nan
         )
         self._thread: Optional[PopcornThread] = None
+        #: Working-set page lists keyed by machine-state size; the
+        #: payload only depends on the (frozen) profile and that size,
+        #: so rebuilding thousands of page addresses per migration is
+        #: pure waste.
+        self._ws_cache: dict[int, list[int]] = {}
         metrics = runtime.metrics
         #: End-to-end per-call latency: target selection (scheduler
         #: round-trip under Xar-Trek) + function execution wherever it
@@ -253,9 +258,12 @@ class ApplicationRun:
                 image = self.runtime.image_for(kernel)
                 yield xrt.load_xclbin(image)
             elif xrt.reconfiguring:
-                # Wait out an in-flight reconfiguration and retry.
+                # Wait out an in-flight reconfiguration and retry —
+                # woken by the settle event, not a poll timer (the old
+                # 10 ms poll loop generated thousands of timeout events
+                # per reconfiguration under high load).
                 while xrt.reconfiguring:
-                    yield self.runtime.platform.sim.timeout(0.01)
+                    yield xrt.wait_reconfigured()
             if not xrt.has_kernel(kernel):
                 # Kernel still absent (scheduler race): run on x86.
                 self.record.fpga_fallbacks += 1
@@ -321,9 +329,14 @@ class ApplicationRun:
         return self._thread
 
     def _working_set_addrs(self, state: MachineState) -> list[int]:
-        payload = max(0, self.profile.migration_state_bytes - state.size_bytes())
-        n_pages = payload // _PAGE
-        return [_WORKING_SET_BASE + i * _PAGE for i in range(n_pages)]
+        size = state.size_bytes()
+        addrs = self._ws_cache.get(size)
+        if addrs is None:
+            payload = max(0, self.profile.migration_state_bytes - size)
+            n_pages = payload // _PAGE
+            addrs = [_WORKING_SET_BASE + i * _PAGE for i in range(n_pages)]
+            self._ws_cache[size] = addrs
+        return addrs
 
     def _mark_working_set(self, thread: PopcornThread) -> None:
         thread.dirty_addresses = self._working_set_addrs(thread.state)

@@ -28,6 +28,7 @@ class UpdateOutcome:
 
     LOWERED_FPGA = "lowered_fpga"
     LOWERED_ARM = "lowered_arm"
+    LOWERED_BOTH = "lowered_both"
     RAISED_FPGA = "raised_fpga"
     RAISED_ARM = "raised_arm"
     RECORDED = "recorded"
@@ -62,19 +63,27 @@ class ThresholdUpdater:
         """One Algorithm 1 pass; mutates ``entry``, returns the outcome."""
         outcome = UpdateOutcome.RECORDED
         if target is Target.X86:
-            # Lines 4-10.
-            if (
+            # Lines 4-10: the FPGA check (4-5) and the ARM check (7-8)
+            # are independent statements, not an either/or — a run that
+            # was slower than both recorded alternatives lowers both
+            # thresholds in the same pass.
+            lowered_fpga = (
                 exec_seconds > entry.observed(Target.FPGA)
                 and x86_load < entry.fpga_threshold
-            ):
+            )
+            if lowered_fpga:
                 entry.fpga_threshold = x86_load
                 outcome = UpdateOutcome.LOWERED_FPGA
-            elif (
+            if (
                 exec_seconds > entry.observed(Target.ARM)
                 and x86_load < entry.arm_threshold
             ):
                 entry.arm_threshold = x86_load
-                outcome = UpdateOutcome.LOWERED_ARM
+                outcome = (
+                    UpdateOutcome.LOWERED_BOTH
+                    if lowered_fpga
+                    else UpdateOutcome.LOWERED_ARM
+                )
         elif target is Target.ARM:
             # Lines 14-17.
             if exec_seconds > entry.observed(Target.X86):

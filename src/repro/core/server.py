@@ -41,8 +41,13 @@ class ServerStats:
     metrics export can never disagree (they are the same numbers).
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
-        metrics = metrics or MetricsRegistry()
+    def __init__(self, metrics: MetricsRegistry):
+        if metrics is None:
+            raise TypeError(
+                "ServerStats requires an explicit MetricsRegistry; a "
+                "detached registry would silently drop the scheduler's "
+                "counters from every metrics export"
+            )
         self._requests = metrics.counter(
             "scheduler_requests_total", "scheduling requests served"
         )
@@ -148,14 +153,29 @@ class SchedulerServer:
         self.platform.sim.spawn(self._serve())
 
     def _serve(self):
-        # Algorithm 2's main loop (lines 4-33).
+        # Algorithm 2's main loop (lines 4-33): accept, then hand each
+        # request to its own handler. The daemon must never block the
+        # accept loop on one client's round-trip — with the old serial
+        # loop, M simultaneous clients saw M x the socket latency.
         while True:
             app_name, reply = yield self._requests.get()
-            # Request crosses the socket; decide; reply crosses back.
-            yield self.platform.sim.timeout(self.socket_latency_s)
+            self._handle(app_name, reply)
+
+    def _handle(self, app_name: str, reply: Event) -> None:
+        """One request's handler: socket in, decide, socket out.
+
+        Runs as an independent callback chain per request, so
+        concurrent requests overlap their socket latencies instead of
+        queuing behind each other.
+        """
+        sim = self.platform.sim
+        latency = self.socket_latency_s
+
+        def decide_and_reply() -> None:
             decision = self._decide(app_name)
-            yield self.platform.sim.timeout(self.socket_latency_s)
-            reply.succeed(decision.target)
+            sim.call_in(latency, lambda: reply.succeed(decision.target))
+
+        sim.call_in(latency, decide_and_reply)
 
     # -- client API ------------------------------------------------------------
     def request(self, app_name: str) -> Event:

@@ -117,12 +117,25 @@ class CPUCluster:
         )
         return job.done
 
-    def execute_job(self, core_seconds: float, tag: Any = None) -> Job:
-        """Like :meth:`execute` but returns the cancellable job handle."""
-        job = self._server.submit(core_seconds, tag=tag)
+    def execute_job(self, core_seconds: float, tag: Any = None, on_complete=None) -> Job:
+        """Like :meth:`execute` but returns the cancellable job handle.
+
+        ``on_complete`` forwards to :meth:`FairShareServer.submit`: the
+        callable is invoked with the job at completion and no ``done``
+        event is allocated.
+        """
+        if on_complete is not None and self._load_gauge is not None:
+            caller_cb = on_complete
+
+            def on_complete(job: Job) -> None:
+                self._sample_load()
+                caller_cb(job)
+
+        job = self._server.submit(core_seconds, tag=tag, on_complete=on_complete)
         if self._load_gauge is not None:
             self._sample_load()
-            job.done.callbacks.append(lambda _ev: self._sample_load())
+            if job.done is not None:
+                job.done.callbacks.append(lambda _ev: self._sample_load())
         return job
 
     def cancel(self, job: Job) -> None:

@@ -159,6 +159,22 @@ class FPGADevice:
     def has_kernel(self, kernel_name: str) -> bool:
         return kernel_name in self.available_kernels
 
+    def settled(self) -> Event:
+        """An event that fires once any in-flight reconfiguration settles.
+
+        Succeeds regardless of the programming outcome — waiters
+        re-check ``has_kernel`` — and immediately when nothing is in
+        flight. Lets callers sleep until the card is decided instead of
+        polling ``reconfiguring`` on a timer.
+        """
+        done = self.sim.event()
+        inflight = self._reconfig_done
+        if inflight is None:
+            done.succeed()
+        else:
+            inflight.callbacks.append(lambda _ev: done.succeed())
+        return done
+
     # -- fault injection ---------------------------------------------------
     def inject_reconfig_failures(self, count: int = 1) -> None:
         """Make the next ``count`` reconfigurations fail after their
@@ -261,15 +277,12 @@ class FPGADevice:
         if duration < 0:
             raise SimulationError(f"negative kernel duration {duration!r}")
         cu = self._compute_units[kernel_name]
-        done = self.sim.event()
+        sim = self.sim
+        done = sim.event()
+        req = cu.request()
 
-        def body():
-            req = cu.request()
-            yield req
-            try:
-                yield self.sim.timeout(duration)
-            finally:
-                cu.release(req)
+        def finish() -> None:
+            cu.release(req)
             self.busy_seconds += duration
             self.tracer.record(
                 "fpga",
@@ -279,7 +292,10 @@ class FPGADevice:
             )
             done.succeed(kernel_name)
 
-        self.sim.spawn(body())
+        # Callback chain instead of a generator process: grant -> hold
+        # the CU for ``duration`` -> release and report. Same FIFO
+        # semantics, a fraction of the event traffic.
+        req.callbacks.append(lambda _ev: sim.call_in(duration, finish))
         return done
 
     def queue_length(self, kernel_name: str) -> int:

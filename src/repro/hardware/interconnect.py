@@ -60,8 +60,15 @@ class Link:
         """Move ``nbytes`` across the link; the event fires on completion."""
         if nbytes < 0:
             raise SimulationError(f"negative transfer size {nbytes!r}")
-        done = self.sim.event()
-        job = self._server.submit(float(nbytes), tag=tag)
+        sim = self.sim
+        done = sim.event()
+        latency = self.spec.latency_s
+
+        def after_bandwidth(_job) -> None:
+            # Propagation latency applies once the pipe has drained.
+            sim.call_in(latency, lambda: done.succeed(nbytes))
+
+        self._server.submit(float(nbytes), tag=tag, on_complete=after_bandwidth)
         self.tracer.record(
             "link",
             f"{self.spec.name}: transfer of {nbytes:.0f} B started",
@@ -70,12 +77,6 @@ class Link:
             concurrent=self.active_transfers,
             tag=tag,
         )
-
-        def after_bandwidth(_ev: Event) -> None:
-            # Propagation latency applies once the pipe has drained.
-            self.sim.call_in(self.spec.latency_s, lambda: done.succeed(nbytes))
-
-        job.done.callbacks.append(after_bandwidth)
         return done
 
     def ideal_transfer_time(self, nbytes: float) -> float:

@@ -12,6 +12,17 @@ with N compute-bound processes on C cores, each runs at rate
 ``min(1, C/N)``, so the execution time of a T-second job under load N is
 ``T * max(1, N/C)`` — exactly the relation Xar-Trek's threshold
 estimation tool (Section 3.1, step G) exploits.
+
+Service accounting is *virtual-time* (epoch-batched): because every
+active job receives the same instantaneous rate, the service each job
+has accumulated is a single shared integral ``V`` (per-job service
+since t=0). A job entering at ``V = v0`` with demand ``w`` finishes
+exactly when ``V`` reaches ``v0 + w``, so the server keeps one float
+and a min-heap of finish marks instead of rescaling every job's
+residual work on every membership change. That turns the per-event
+cost from O(active jobs) to O(log active jobs) — the difference
+between the Figure 5 experiments (120 resident processes) crawling
+and flying — without changing a single completion time.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Optional
 
 from repro.sim import Event, SimulationError, Simulator
@@ -46,17 +58,26 @@ def _completion_tolerance(now: float, rate: float, work: float) -> float:
     return max(work_dust, time_dust)
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
-    """One unit of work in a fair-share server."""
+    """One unit of work in a fair-share server.
+
+    Completion is delivered through ``done`` (an event the caller can
+    yield on) *or*, when the caller only needs a notification, through
+    ``on_complete`` — a plain callable invoked synchronously, skipping
+    the event-queue round trip entirely. Exactly one of the two is set.
+    """
 
     job_id: int
     work: float  # total demand, in capacity-units * seconds
     remaining: float
-    done: Event
+    done: Optional[Event]
     tag: Any = None
     start_time: float = 0.0
     finish_time: Optional[float] = None
+    #: Shared-service integral at entry; served = V - entry_virtual.
+    entry_virtual: float = field(default=0.0, repr=False)
+    on_complete: Any = field(default=None, repr=False)
     _cancelled: bool = field(default=False, repr=False)
 
 
@@ -64,10 +85,26 @@ class FairShareServer:
     """Capacity shared equally among active jobs, each capped at ``job_cap``.
 
     Jobs are submitted with a total work demand; the server tracks
-    remaining work analytically and schedules a single "next completion"
-    event, re-derived whenever the job set changes. This is exact (not
-    time-stepped) processor sharing.
+    remaining work analytically via the shared virtual-service integral
+    and schedules a single "next completion" event, re-derived whenever
+    the job set changes. This is exact (not time-stepped) processor
+    sharing.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "capacity",
+        "job_cap",
+        "_jobs",
+        "_ids",
+        "_last_update",
+        "_epoch",
+        "_load_integral",
+        "_busy_integral",
+        "_virtual",
+        "_finish_heap",
+    )
 
     def __init__(
         self,
@@ -89,6 +126,11 @@ class FairShareServer:
         #: cumulative (active_jobs * dt) integral, for utilization stats
         self._load_integral = 0.0
         self._busy_integral = 0.0
+        #: cumulative per-job service delivered since t=0 (virtual time)
+        self._virtual = 0.0
+        #: (entry_virtual + work, job_id, Job) min-heap; entries for
+        #: cancelled/finished jobs are skipped lazily.
+        self._finish_heap: list[tuple[float, int, Job]] = []
 
     # -- queries ---------------------------------------------------------
     @property
@@ -98,12 +140,12 @@ class FairShareServer:
 
     def rate_per_job(self, n: Optional[int] = None) -> float:
         """Service rate each job receives when ``n`` jobs are active."""
-        n = self.active_jobs if n is None else n
+        n = len(self._jobs) if n is None else n
         if n == 0:
             return 0.0
         share = self.capacity / n
-        if self.job_cap is not None:
-            share = min(share, self.job_cap)
+        if self.job_cap is not None and share > self.job_cap:
+            share = self.job_cap
         return share
 
     def utilization(self, since: float = 0.0) -> float:
@@ -123,11 +165,14 @@ class FairShareServer:
         return self._load_integral / elapsed
 
     # -- job lifecycle -----------------------------------------------------
-    def submit(self, work: float, tag: Any = None) -> Job:
+    def submit(self, work: float, tag: Any = None, on_complete=None) -> Job:
         """Enter a job with total demand ``work``; returns its handle.
 
         The job's ``done`` event triggers (with the job as value) when
-        the demand has been served.
+        the demand has been served — unless ``on_complete`` is given, in
+        which case that callable is invoked with the job instead and no
+        ``done`` event is allocated (the cheap path for callers that
+        chain callbacks rather than block a process).
         """
         if work < 0:
             raise SimulationError(f"negative work {work!r}")
@@ -136,15 +181,21 @@ class FairShareServer:
             job_id=next(self._ids),
             work=float(work),
             remaining=float(work),
-            done=self.sim.event(),
+            done=None if on_complete is not None else self.sim.event(),
             tag=tag,
             start_time=self.sim.now,
+            entry_virtual=self._virtual,
+            on_complete=on_complete,
         )
         if work == 0:
             job.finish_time = self.sim.now
-            job.done.succeed(job)
+            if on_complete is not None:
+                on_complete(job)
+            else:
+                job.done.succeed(job)
             return job
         self._jobs[job.job_id] = job
+        heappush(self._finish_heap, (job.entry_virtual + job.work, job.job_id, job))
         self._reschedule()
         return job
 
@@ -153,59 +204,95 @@ class FairShareServer:
         self._advance()
         if self._jobs.pop(job.job_id, None) is not None:
             job._cancelled = True
+            job.remaining = max(0.0, job.entry_virtual + job.work - self._virtual)
             self._reschedule()
 
     def remaining_work(self, job: Job) -> float:
         self._advance()
-        return job.remaining if job.job_id in self._jobs else 0.0
+        if job.job_id not in self._jobs:
+            return 0.0
+        return max(0.0, job.entry_virtual + job.work - self._virtual)
 
     # -- internals -----------------------------------------------------------
     def _advance(self) -> None:
-        """Account for service delivered since the last state change."""
+        """Account for service delivered since the last state change.
+
+        O(1): every active job receives the same rate, so the service
+        delivered is folded into the shared ``_virtual`` integral
+        instead of being written back to each job.
+        """
         now = self.sim.now
         dt = now - self._last_update
-        if dt > 0 and self._jobs:
-            rate = self.rate_per_job()
+        if dt > 0.0:
             n = len(self._jobs)
-            self._load_integral += n * dt
-            self._busy_integral += min(self.capacity, rate * n) * dt
-            for job in self._jobs.values():
-                job.remaining = max(0.0, job.remaining - rate * dt)
-        self._last_update = now
+            if n:
+                rate = self.rate_per_job(n)
+                self._virtual += rate * dt
+                self._load_integral += n * dt
+                busy = rate * n
+                if busy > self.capacity:
+                    busy = self.capacity
+                self._busy_integral += busy * dt
+            self._last_update = now
+        elif dt != 0.0:
+            self._last_update = now
+
+    def _next_finish(self) -> Optional[Job]:
+        """The live job with the smallest finish mark (lazy heap cleanup)."""
+        heap = self._finish_heap
+        jobs = self._jobs
+        while heap:
+            _mark, job_id, job = heap[0]
+            if job_id in jobs:
+                return job
+            heappop(heap)
+        return None
 
     def _reschedule(self) -> None:
         """Re-derive the next completion after any job-set change."""
         self._last_update = self.sim.now
         self._epoch += 1
-        if not self._jobs:
+        head = self._next_finish()
+        if head is None:
             return
         rate = self.rate_per_job()
-        shortest = min(job.remaining for job in self._jobs.values())
-        delay = shortest / rate if rate > 0 else math.inf
-        if math.isinf(delay):
+        if rate <= 0:
             return
+        shortest = max(0.0, head.entry_virtual + head.work - self._virtual)
         epoch = self._epoch
-        self.sim.call_in(delay, lambda: self._on_completion(epoch))
+        self.sim.call_in(shortest / rate, lambda: self._on_completion(epoch))
 
     def _on_completion(self, epoch: int) -> None:
         if epoch != self._epoch:
             return  # job set changed since this was scheduled
         self._advance()
         rate = self.rate_per_job()
-        finished = [
-            job
-            for job in self._jobs.values()
-            if job.remaining <= _completion_tolerance(self.sim.now, rate, job.work)
-        ]
+        finished: list[Job] = []
+        while True:
+            head = self._next_finish()
+            if head is None:
+                break
+            residual = head.entry_virtual + head.work - self._virtual
+            if residual > _completion_tolerance(self.sim.now, rate, head.work):
+                break
+            heappop(self._finish_heap)
+            del self._jobs[head.job_id]
+            finished.append(head)
         if not finished and self._jobs:
             # Pure floating-point drift: the event fired for the
             # shortest job, so force it out rather than risk a
             # zero-width reschedule loop.
-            finished = [min(self._jobs.values(), key=lambda j: j.remaining)]
+            head = self._next_finish()
+            heappop(self._finish_heap)
+            del self._jobs[head.job_id]
+            finished.append(head)
+        now = self.sim.now
         for job in finished:
-            del self._jobs[job.job_id]
             job.remaining = 0.0
-            job.finish_time = self.sim.now
+            job.finish_time = now
         self._reschedule()
         for job in finished:
-            job.done.succeed(job)
+            if job.on_complete is not None:
+                job.on_complete(job)
+            else:
+                job.done.succeed(job)

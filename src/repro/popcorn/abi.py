@@ -8,6 +8,7 @@ registers, callee-saved sets, and stack alignment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 __all__ = ["ISADef", "X86_64", "AARCH64", "isa_def", "UnknownISAError"]
 
@@ -32,7 +33,7 @@ class ISADef:
     stack_align: int
     red_zone: int = 0
 
-    @property
+    @cached_property
     def all_registers(self) -> tuple[str, ...]:
         seen: dict[str, None] = {}
         for reg in (

@@ -46,7 +46,7 @@ class DSMStats:
     bytes_transferred: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PageEntry:
     """Directory entry: which node holds the page in which state."""
 
@@ -54,6 +54,19 @@ class _PageEntry:
 
     def holders(self) -> list[str]:
         return [n for n, s in self.states.items() if s != PageState.INVALID]
+
+    def has_holder(self) -> bool:
+        """True if any node holds a valid (S/M) copy; avoids building
+        the holder list on the migration fast path."""
+        for state in self.states.values():
+            if state != PageState.INVALID:
+                return True
+        return False
+
+    def invalidate_all(self) -> None:
+        states = self.states
+        for node in states:
+            states[node] = PageState.INVALID
 
     def owner(self) -> Optional[str]:
         for node, state in self.states.items():
@@ -217,11 +230,15 @@ class DSM:
         got involved (its pre-migration working set).
         """
         self._check_node(node)
+        directory = self.directory
+        mask = ~(self.page_size - 1)
         for addr in addrs:
-            page = self.page_of(addr)
-            entry = self.directory.setdefault(page, _PageEntry())
-            for holder in entry.holders():
-                entry.states[holder] = PageState.INVALID
+            page = addr & mask
+            entry = directory.get(page)
+            if entry is None:
+                directory[page] = _PageEntry(states={node: PageState.MODIFIED})
+                continue
+            entry.invalidate_all()
             entry.states[node] = PageState.MODIFIED
 
     def migrate_pages(self, src: str, dst: str, addrs: list[int]) -> Event:
@@ -233,24 +250,29 @@ class DSM:
         """
         self._check_node(src)
         self._check_node(dst)
-        pages = sorted({self.page_of(a) for a in addrs})
+        mask = ~(self.page_size - 1)
+        pages = sorted({a & mask for a in addrs})
         done = self.sim.event()
 
+        directory = self.directory
         to_transfer: list[int] = []
         to_claim: list[int] = []
         for page in pages:
-            entry = self.directory.setdefault(page, _PageEntry())
+            entry = directory.get(page)
+            if entry is None:
+                directory[page] = _PageEntry()
+                to_claim.append(page)
+                continue
             if entry.states.get(dst) == PageState.MODIFIED:
                 continue
             to_claim.append(page)
-            if entry.holders():
+            if entry.has_holder():
                 to_transfer.append(page)
 
         def finish() -> None:
             for page in to_claim:
-                entry = self.directory[page]
-                for holder in entry.holders():
-                    entry.states[holder] = PageState.INVALID
+                entry = directory[page]
+                entry.invalidate_all()
                 entry.states[dst] = PageState.MODIFIED
             self.tracer.record(
                 "dsm",

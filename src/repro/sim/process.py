@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Iterable
 
-from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
+from repro.sim.engine import Event, Interrupt, SimulationError, Simulator, _Call
 
 __all__ = ["Process", "AllOf", "AnyOf"]
 
@@ -31,9 +31,10 @@ class Process(Event):
         self.generator = generator
         self._waiting_on: Event | None = None
         # Bootstrap: resume for the first time at the current instant.
-        boot = sim.event()
-        boot.callbacks.append(self._resume)
-        boot.succeed()
+        _Call(sim, 0.0, self._boot)
+
+    def _boot(self) -> None:
+        self._step(None, as_exception=False)
 
     @property
     def is_alive(self) -> bool:
@@ -53,9 +54,9 @@ class Process(Event):
             except ValueError:
                 pass
             self._waiting_on = None
-        ev = self.sim.event()
-        ev.callbacks.append(lambda _ev: self._step(Interrupt(cause), as_exception=True))
-        ev.succeed()
+        _Call(
+            self.sim, 0.0, lambda: self._step(Interrupt(cause), as_exception=True)
+        )
 
     # -- internal stepping ---------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -93,18 +94,10 @@ class Process(Event):
         if target.processed:
             # Already-processed events resume the process immediately
             # (at the current instant, preserving event ordering).
-            ev = self.sim.event()
-            ev.callbacks.append(self._resume_from(target))
-            ev.succeed()
+            _Call(self.sim, 0.0, lambda: self._resume(target))
         else:
             self._waiting_on = target
             target.callbacks.append(self._resume)
-
-    def _resume_from(self, target: Event):
-        def callback(_ev: Event) -> None:
-            self._resume(target)
-
-        return callback
 
 
 class _Condition(Event):
@@ -123,6 +116,11 @@ class _Condition(Event):
             self.succeed(self._collect())
             return
         for ev in self.events:
+            if self.triggered:
+                # Fast path: an already-processed event decided the
+                # condition (AnyOf success, or a fail-fast); don't
+                # register dead callbacks on the remaining events.
+                break
             if ev.processed:
                 self._on_event(ev)
             else:

@@ -33,6 +33,8 @@ class _Request(Event):
 class Resource:
     """A counted, FIFO-fair resource with ``capacity`` concurrent users."""
 
+    __slots__ = ("sim", "capacity", "_users", "_waiting")
+
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
@@ -79,7 +81,14 @@ class Resource:
 
 
 class Store:
-    """Unbounded (or bounded) FIFO queue of Python objects."""
+    """Unbounded (or bounded) FIFO queue of Python objects.
+
+    Invariant (restored by every operation): there is never both a
+    waiting getter and a buffered item. The fast paths below exploit it
+    for O(1) handoff without touching the deques.
+    """
+
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: float = float("inf")):
         self.sim = sim
@@ -94,6 +103,15 @@ class Store:
     def put(self, item: Any) -> Event:
         """Return an event that triggers once ``item`` is enqueued."""
         ev = Event(self.sim)
+        if not self._putters and len(self.items) < self.capacity:
+            # Room available: admit now, and hand straight to a waiting
+            # getter (if any) without a deque round-trip.
+            ev.succeed()
+            if self._getters:
+                self._getters.popleft().succeed(item)
+            else:
+                self.items.append(item)
+            return ev
         self._putters.append((ev, item))
         self._balance()
         return ev
@@ -101,8 +119,15 @@ class Store:
     def get(self) -> Event:
         """Return an event whose value is the next item."""
         ev = Event(self.sim)
+        if self.items:
+            # Items buffered implies no getters are waiting.
+            ev.succeed(self.items.popleft())
+            if self._putters:
+                self._balance()  # a blocked put may fit now
+            return ev
         self._getters.append(ev)
-        self._balance()
+        if self._putters:
+            self._balance()
         return ev
 
     def _balance(self) -> None:

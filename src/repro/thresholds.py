@@ -23,7 +23,7 @@ class ThresholdError(Exception):
     """Raised for unknown applications or malformed entries."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ThresholdEntry:
     """One application's row: thresholds plus last observed times."""
 
@@ -74,10 +74,13 @@ class ThresholdTable:
         self._entries[entry.application] = entry
 
     def entry(self, application: str) -> ThresholdEntry:
-        try:
-            return self._entries[application]
-        except KeyError:
-            raise ThresholdError(f"no threshold entry for {application!r}") from None
+        # dict.get instead of try/except: this lookup sits on the
+        # scheduler's per-request fast path, where the miss is the
+        # exceptional case but exception setup is not free.
+        found = self._entries.get(application)
+        if found is None:
+            raise ThresholdError(f"no threshold entry for {application!r}")
+        return found
 
     def has(self, application: str) -> bool:
         return application in self._entries

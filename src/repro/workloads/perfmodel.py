@@ -16,6 +16,7 @@ Times are stored in seconds; the paper's tables are milliseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property, lru_cache
 
 from repro.hardware.interconnect import ETHERNET_1GBPS, PCIE_GEN3_X16, LinkSpec
 
@@ -105,32 +106,35 @@ class WorkloadProfile:
         return 2 * one_way + self.func_arm_s
 
     # -- uncontended end-to-end scenario times (Table 1 columns) ---------------
-    @property
+    # Cached: these are re-read on the scheduling fast path (threshold
+    # estimation, per-invocation cost models) and the profile is frozen,
+    # so each is computed at most once per instance.
+    @cached_property
     def vanilla_x86_s(self) -> float:
         return self.host_work_s + self.calls_per_run * (
             self.per_call_host_s + self.func_x86_s
         )
 
-    @property
+    @cached_property
     def x86_fpga_s(self) -> float:
         return self.host_work_s + self.calls_per_run * (
             self.per_call_host_s + self.fpga_call_s()
         )
 
-    @property
+    @cached_property
     def x86_arm_s(self) -> float:
         return self.host_work_s + self.calls_per_run * (
             self.per_call_host_s + self.arm_call_s()
         )
 
-    @property
+    @cached_property
     def arm_core_slowdown(self) -> float:
         """Per-core ARM/x86 time ratio for this workload's code."""
         if self.func_x86_s == 0:
             return 1.0
         return self.func_arm_s / self.func_x86_s
 
-    @property
+    @cached_property
     def vanilla_arm_s(self) -> float:
         """The whole application run natively on one ARM core."""
         return self.arm_core_slowdown * self.vanilla_x86_s
@@ -281,6 +285,7 @@ _PROFILES["mg.B"] = WorkloadProfile(
 )
 
 
+@lru_cache(maxsize=256)
 def _bfs_profile(n_nodes: int) -> WorkloadProfile:
     """BFS profiles from Table 4 (x86 vs FPGA only).
 

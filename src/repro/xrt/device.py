@@ -165,6 +165,11 @@ class XRTDevice:
     def reconfiguring(self) -> bool:
         return self.fpga.reconfiguring
 
+    def wait_reconfigured(self) -> Event:
+        """Event firing when the in-flight reconfiguration settles
+        (successfully or not); immediate when none is in flight."""
+        return self.fpga.settled()
+
     # -- buffers -----------------------------------------------------------
     def alloc_buffer(self, nbytes: int) -> Buffer:
         if nbytes < 0:
@@ -220,8 +225,9 @@ class XRTDevice:
             )
         if duration is None:
             duration = self.kernel_latency(kernel_name)
-        done = self.sim.event()
-        started = self.sim.now
+        sim = self.sim
+        done = sim.event()
+        started = sim.now
         self.active_runs += 1
         self._m_occupancy.set(self.active_runs)
 
@@ -229,27 +235,21 @@ class XRTDevice:
         if fail_this_run:
             self._fail_next_runs[kernel_name] -= 1
 
-        def body():
-            try:
-                in_buf = self.alloc_buffer(bytes_in)
-                out_buf = self.alloc_buffer(bytes_out)
-                if bytes_in:
-                    yield self.sync_to_device(in_buf)
-                if fail_this_run:
-                    # The fault surfaces partway through the kernel run.
-                    yield self.sim.timeout(duration / 2)
-                    raise SimulationError(f"kernel {kernel_name} run fault")
-                yield self.fpga.execute(kernel_name, duration)
-                out_buf.on_device = True
-                if bytes_out:
-                    yield self.sync_from_device(out_buf)
-            except SimulationError as exc:
-                self.active_runs -= 1
-                self._m_occupancy.set(self.active_runs)
-                self.failed_runs += 1
-                self._m_run_failures.labels(kernel=kernel_name).inc()
-                done.fail(XRTError(str(exc)))
-                return
+        in_buf = self.alloc_buffer(bytes_in)
+        out_buf = self.alloc_buffer(bytes_out)
+
+        # The h2d -> execute -> d2h sequence as a callback chain rather
+        # than a generator process: one run used to cost two process
+        # bootstraps plus an event per stage boundary, all on the
+        # hottest path of the FPGA experiments.
+        def fail(exc: Exception) -> None:
+            self.active_runs -= 1
+            self._m_occupancy.set(self.active_runs)
+            self.failed_runs += 1
+            self._m_run_failures.labels(kernel=kernel_name).inc()
+            done.fail(XRTError(str(exc)))
+
+        def finish(_ev: Optional[Event] = None) -> None:
             self.active_runs -= 1
             self._m_occupancy.set(self.active_runs)
             run = KernelRun(
@@ -257,7 +257,7 @@ class XRTDevice:
                 bytes_in=bytes_in,
                 bytes_out=bytes_out,
                 started_at=started,
-                finished_at=self.sim.now,
+                finished_at=sim.now,
             )
             self.completed_runs.append(run)
             self._m_kernel_runs.labels(kernel=kernel_name).observe(run.duration)
@@ -269,5 +269,35 @@ class XRTDevice:
             )
             done.succeed(run)
 
-        self.sim.spawn(body())
+        def after_execute(_ev: Event) -> None:
+            out_buf.on_device = True
+            if bytes_out:
+                transfer = self.pcie.transfer(
+                    bytes_out, tag=("xrt-d2h", out_buf.buffer_id)
+                )
+                transfer.callbacks.append(finish)
+            else:
+                finish()
+
+        def start_execute(_ev: Optional[Event] = None) -> None:
+            in_buf.on_device = bool(bytes_in)
+            if fail_this_run:
+                # The fault surfaces partway through the kernel run.
+                sim.call_in(
+                    duration / 2,
+                    lambda: fail(SimulationError(f"kernel {kernel_name} run fault")),
+                )
+                return
+            try:
+                execute_done = self.fpga.execute(kernel_name, duration)
+            except SimulationError as exc:
+                fail(exc)
+                return
+            execute_done.callbacks.append(after_execute)
+
+        if bytes_in:
+            transfer = self.pcie.transfer(bytes_in, tag=("xrt-h2d", in_buf.buffer_id))
+            transfer.callbacks.append(start_execute)
+        else:
+            start_execute()
         return done

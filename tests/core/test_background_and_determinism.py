@@ -66,13 +66,19 @@ class TestSchedulerConcurrency:
         assert all(t in (Target.X86, Target.ARM, Target.FPGA) for t in targets)
         assert runtime.server.stats.requests == 12
 
-    def test_request_latency_accumulates_fifo(self):
-        # 10 queued requests, each costing one socket round trip, are
-        # served sequentially by the single server loop.
+    def test_simultaneous_requests_overlap_their_round_trips(self):
+        # Regression: the accept loop used to serve requests serially,
+        # so M simultaneous clients paid M stacked round trips. With a
+        # per-request handler they overlap: all M replies arrive after
+        # ~one round trip (2 x socket latency), not M of them.
         runtime = build_system(["cg.A"])
-        replies = [runtime.server.request("cg.A") for _ in range(10)]
+        m = 10
+        round_trip = 2 * runtime.server.socket_latency_s
+        replies = [runtime.server.request("cg.A") for _ in range(m)]
         runtime.platform.sim.run_until_event(replies[-1])
-        assert runtime.platform.now >= 10 * 2 * runtime.server.socket_latency_s * 0.99
+        assert all(r.processed for r in replies)
+        assert runtime.platform.now == pytest.approx(round_trip, rel=0.01)
+        assert runtime.platform.now < m * round_trip * 0.5
 
 
 class TestDeterminism:

@@ -34,6 +34,19 @@ class TestAlgorithm1:
         assert outcome == UpdateOutcome.LOWERED_ARM
         assert e.arm_threshold == 20
 
+    def test_lines_4_10_lower_both_thresholds_in_one_pass(self):
+        # Regression: lines 4-5 (FPGA) and 7-8 (ARM) are independent
+        # statements in Algorithm 1, but the implementation used an
+        # elif, so a run slower than BOTH recorded alternatives could
+        # only ever lower the FPGA threshold. One pass must lower both.
+        e = entry()  # observed: fpga 0.332s, arm 0.642s
+        outcome = ThresholdUpdater().update(
+            e, Target.X86, exec_seconds=1.0, x86_load=10
+        )
+        assert outcome == UpdateOutcome.LOWERED_BOTH
+        assert e.fpga_threshold == 10
+        assert e.arm_threshold == 10
+
     def test_line_10_just_record(self):
         e = entry()
         outcome = ThresholdUpdater().update(e, Target.X86, exec_seconds=0.1, x86_load=3)

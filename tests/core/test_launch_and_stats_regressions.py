@@ -1,0 +1,74 @@
+"""Regression tests: delayed-launch failure propagation and ServerStats wiring."""
+
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.core.application import ApplicationRun
+from repro.core.server import ServerStats
+from repro.metrics import MetricsRegistry
+
+
+class TestDelayedLaunchFailurePropagation:
+    def test_failure_propagates_through_done_event(self, monkeypatch):
+        # Regression: launch(..., delay_s>0) wraps the inner run.start()
+        # event but never defused it, so a failing run re-raised out of
+        # the inner event's _process and crashed the whole simulation
+        # instead of reaching the caller through the returned event.
+        def boom(self):
+            raise RuntimeError("injected run failure")
+
+        monkeypatch.setattr(ApplicationRun, "_run_with_x86_host", boom)
+        runtime = build_system(["digit.500"])
+        failed = runtime.launch(
+            "digit.500", mode=SystemMode.VANILLA_X86, delay_s=0.25
+        )
+        with pytest.raises(RuntimeError, match="injected run failure"):
+            runtime.platform.sim.run_until_event(failed)
+        # The failure arrived *via the returned event*, not as a crash
+        # mid-step: the event carries the outcome and the simulation is
+        # still usable afterwards.
+        assert failed.processed and not failed.ok
+
+    def test_sibling_run_survives_a_delayed_failure(self, monkeypatch):
+        def boom(self):
+            raise RuntimeError("injected run failure")
+
+        monkeypatch.setattr(ApplicationRun, "_run_with_x86_host", boom)
+        runtime = build_system(["digit.500"])
+        failed = runtime.launch(
+            "digit.500", mode=SystemMode.VANILLA_X86, delay_s=0.25
+        )
+        # The ARM path does not go through the patched method; it must
+        # complete even though a concurrent delayed launch fails.
+        ok = runtime.launch("digit.500", mode=SystemMode.VANILLA_ARM, delay_s=0.1)
+        with pytest.raises(RuntimeError, match="injected run failure"):
+            runtime.platform.sim.run_until_event(failed)
+        record = runtime.platform.sim.run_until_event(ok)
+        assert record.finished
+        assert record.app == "digit.500"
+
+
+class TestServerStatsRegistry:
+    def test_detached_registry_is_rejected(self):
+        # Regression: ServerStats() used to silently build its own
+        # MetricsRegistry, so every counter vanished from exports.
+        with pytest.raises(TypeError):
+            ServerStats()
+        with pytest.raises(TypeError, match="explicit MetricsRegistry"):
+            ServerStats(None)
+
+    def test_stats_and_registry_share_counters(self):
+        metrics = MetricsRegistry()
+        stats = ServerStats(metrics)
+        stats._requests.inc()
+        assert stats.requests == 1
+        assert metrics.get("scheduler_requests_total").value == 1
+
+    def test_scheduler_counts_reach_the_platform_registry(self):
+        runtime = build_system(["cg.A"])
+        reply = runtime.server.request("cg.A")
+        runtime.platform.sim.run_until_event(reply)
+        counter = runtime.metrics.get("scheduler_requests_total")
+        assert counter is not None
+        assert counter.value == 1
+        assert runtime.server.stats.requests == 1

@@ -1,0 +1,81 @@
+"""The wall-clock bench harness: replay determinism and report plumbing."""
+
+import json
+
+import pytest
+
+from repro.experiments.wallclock import (
+    BenchReport,
+    ScenarioResult,
+    available_scenarios,
+    load_report,
+    run_bench,
+    run_scenario,
+)
+
+
+class TestReplayDeterminism:
+    @pytest.mark.parametrize("name", available_scenarios())
+    def test_same_seed_same_outputs(self, name):
+        # The bench exists to prove perf work did not change behaviour,
+        # so its own scenarios must be seed-deterministic: two runs of
+        # the same seed produce byte-identical output checksums and the
+        # same event/simulated-time totals.
+        first = run_scenario(name, seed=3, quick=True)
+        second = run_scenario(name, seed=3, quick=True)
+        assert first.checksum == second.checksum
+        assert first.events == second.events
+        assert first.sim_seconds == second.sim_seconds
+
+    def test_different_seeds_differ(self):
+        first = run_scenario("fig5_high_load", seed=1, quick=True)
+        second = run_scenario("fig5_high_load", seed=2, quick=True)
+        assert first.checksum != second.checksum
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown bench scenario"):
+            run_scenario("fig99_nope")
+
+
+class TestReportPlumbing:
+    def test_report_round_trips_through_json(self, tmp_path):
+        report = run_bench(scenarios=["fig3_low_load"], seed=0, quick=True)
+        payload = report.to_dict()
+        assert payload["schema"] == "xar-trek-bench/1"
+        assert [s["name"] for s in payload["scenarios"]] == ["fig3_low_load"]
+        path = tmp_path / "bench.json"
+        path.write_text(report.to_json())
+        assert load_report(str(path)) == {
+            "fig3_low_load": payload["scenarios"][0]["wall_s"]
+        }
+
+    def test_speedups_against_baseline(self, tmp_path):
+        baseline = {
+            "schema": "xar-trek-bench/1",
+            "scenarios": [{"name": "figX", "wall_s": 2.0}],
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        report = BenchReport(seed=0, quick=True)
+        report.baseline_wall_s = load_report(str(path))
+        report.results.append(
+            ScenarioResult(
+                name="figX",
+                wall_s=0.5,
+                events=100,
+                sim_seconds=1.0,
+                peak_rss_bytes=0,
+                checksum="ab",
+            )
+        )
+        assert report.speedups() == {"figX": pytest.approx(4.0)}
+        assert report.to_dict()["speedup_vs_baseline"] == {"figX": 4.0}
+        assert "4.00x vs baseline" in report.to_text()
+
+    def test_scenario_metrics_are_populated(self):
+        result = run_scenario("fig3_low_load", seed=0, quick=True)
+        assert result.events > 0
+        assert result.sim_seconds > 0
+        assert result.wall_s > 0
+        assert result.events_per_sec > 0
+        assert len(result.checksum) == 16

@@ -1,5 +1,7 @@
 """Unit + property tests for the fair-share (processor-sharing) server."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -100,7 +102,77 @@ class TestDynamics:
         assert srv.rate_per_job(0) == 0.0
 
 
+def _reference_finish_times(arrivals, capacity, job_cap):
+    """Per-event processor sharing: O(n) remaining-work rescaling.
+
+    The pre-optimization model the virtual-time server replaced: walk
+    membership changes chronologically and drain every active job's
+    remaining work at the common rate. Used as ground truth.
+    """
+    pending = sorted(
+        ((t, w, i) for i, (t, w) in enumerate(arrivals)), key=lambda p: (p[0], p[2])
+    )
+    active = {}  # index -> remaining work
+    finish = {}
+    now = 0.0
+    while pending or active:
+        if active:
+            n = len(active)
+            rate = min(capacity / n, job_cap) if job_cap is not None else capacity / n
+            to_completion = min(active.values()) / rate
+        else:
+            rate = 0.0
+            to_completion = math.inf
+        to_arrival = pending[0][0] - now if pending else math.inf
+        dt = min(to_completion, to_arrival)
+        for i in active:
+            active[i] -= rate * dt
+        now += dt
+        if to_arrival <= to_completion:
+            t, w, i = pending.pop(0)
+            active[i] = w
+        else:
+            done = [i for i, rem in active.items() if rem <= 1e-12 * max(1.0, now)]
+            for i in done:
+                finish[i] = now
+                del active[i]
+    return finish
+
+
 class TestProperties:
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=20.0),
+                st.floats(min_value=0.01, max_value=30.0),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_epoch_batched_server_matches_per_event_model(self, arrivals, capacity):
+        """The virtual-time (epoch-batched) server must produce the same
+        completion times as the per-event O(n)-rescaling model it
+        replaced, for arbitrary staggered arrival patterns."""
+        sim = Simulator()
+        srv = FairShareServer(sim, "cpu", capacity=capacity, job_cap=1.0)
+        jobs = {}
+
+        def submit(index, work):
+            jobs[index] = srv.submit(work)
+
+        for index, (t, work) in enumerate(arrivals):
+            sim.call_in(t, lambda i=index, w=work: submit(i, w))
+        sim.run()
+
+        expected = _reference_finish_times(arrivals, float(capacity), 1.0)
+        assert set(expected) == set(jobs)
+        for index, job in jobs.items():
+            assert job.finish_time == pytest.approx(
+                expected[index], rel=1e-6, abs=1e-6
+            ), f"job {index} (work={arrivals[index][1]})"
     @given(
         works=st.lists(
             st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=20
