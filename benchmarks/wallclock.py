@@ -6,6 +6,7 @@ can be driven straight from the benchmarks directory:
 
     PYTHONPATH=src python benchmarks/wallclock.py --quick
     PYTHONPATH=src python benchmarks/wallclock.py --baseline BENCH_wallclock.json
+    PYTHONPATH=src python benchmarks/wallclock.py --jobs 4   # report_sweep workers
 
 The timing machinery lives in :mod:`repro.experiments.wallclock`; the
 emitted ``BENCH_wallclock.json`` is documented in docs/performance.md.

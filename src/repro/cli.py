@@ -26,6 +26,8 @@ from typing import Optional, Sequence
 from repro.compiler import XarTrekCompiler
 from repro.core import SystemMode, build_system
 from repro.core.runtime import spec_for
+from repro.experiments.report import REPORT_FIGURES as _FIGURES
+from repro.experiments.report import REPORT_TABLES as _TABLES
 from repro.popcorn.elf import dump_xelf
 from repro.workloads import PAPER_BENCHMARKS, available_workloads, profile_for
 
@@ -38,12 +40,23 @@ _MODES = {
     "xar-trek": SystemMode.XAR_TREK,
 }
 
-_TABLES = {1: "table1_execution_times", 2: "table2_thresholds",
-           3: "table3_load_classes", 4: "table4_bfs"}
-_FIGURES = {3: "figure3_low_load", 4: "figure4_medium_load",
-            5: "figure5_high_load", 6: "figure6_throughput",
-            7: "figure7_periodic_execution", 8: "figure8_periodic_throughput",
-            9: "figure9_profitability", 10: "figure10_binary_sizes"}
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """The parallel-sweep knobs shared by figure/table/report/bench."""
+    parser.add_argument("--jobs", default=None, metavar="N",
+                        help="worker processes for sweep cells (0 or "
+                        "'auto' = all CPUs; default: $REPRO_SWEEP_JOBS or 1)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="content-addressed on-disk result cache for "
+                        "sweep cells (reruns only simulate changed cells)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache and always simulate")
+
+
+def _sweep_options(args: argparse.Namespace):
+    """(jobs, cache) from parsed flags; --no-cache wins."""
+    cache = None if args.no_cache else args.cache
+    return args.jobs, cache
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,12 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="regenerate one of the paper's tables")
     table.add_argument("number", type=int, choices=sorted(_TABLES))
+    _add_sweep_flags(table)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("number", type=int, choices=sorted(_FIGURES))
     figure.add_argument("--repeats", type=int, default=10,
                         help="repeats for the randomized-set figures (3-5)")
     figure.add_argument("--seed", type=int, default=0)
+    _add_sweep_flags(figure)
 
     run = sub.add_parser("run", help="run one application on the testbed")
     run.add_argument("app", help="workload name, e.g. digit.2000 or bfs.1000")
@@ -87,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--quick", action="store_true",
                         help="3 repeats and skip the periodic figures")
+    _add_sweep_flags(report)
 
     compile_cmd = sub.add_parser("compile", help="run compiler steps A-G")
     compile_cmd.add_argument("--apps", nargs="+", default=list(PAPER_BENCHMARKS))
@@ -113,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the report here ('-' to skip)")
     bench.add_argument("--baseline", default=None, metavar="FILE",
                        help="earlier bench JSON to compute speedups against")
+    _add_sweep_flags(bench)
 
     metrics = sub.add_parser(
         "metrics",
@@ -160,48 +177,48 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_table(number: int) -> int:
+def _cmd_table(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
-    result = getattr(experiments, _TABLES[number])()
-    print(result.to_text())
-    return 0
-
-
-def _cmd_figure(number: int, repeats: int, seed: int) -> int:
-    import repro.experiments as experiments
-
-    fn = getattr(experiments, _FIGURES[number])
-    if number in (3, 4, 5):
-        result = fn(repeats=repeats, seed=seed)
-    elif number in (6, 7, 8, 9):
-        result = fn(seed=seed)
+    jobs, cache = _sweep_options(args)
+    fn = getattr(experiments, _TABLES[args.number])
+    if args.number == 1:
+        result = fn(jobs=jobs, cache=cache)
     else:
         result = fn()
     print(result.to_text())
     return 0
 
 
-def _cmd_report(repeats: int, seed: int, quick: bool) -> int:
+def _cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
-    if quick:
-        repeats = min(repeats, 3)
-    for number in sorted(_TABLES):
-        print(getattr(experiments, _TABLES[number])().to_text())
-        print()
-    for number in sorted(_FIGURES):
-        if quick and number in (7, 8):
-            continue
-        fn = getattr(experiments, _FIGURES[number])
-        if number in (3, 4, 5):
-            result = fn(repeats=repeats, seed=seed)
-        elif number in (6, 7, 8, 9):
-            result = fn(seed=seed)
-        else:
-            result = fn()
+    jobs, cache = _sweep_options(args)
+    number = args.number
+    fn = getattr(experiments, _FIGURES[number])
+    if number in (3, 4, 5):
+        result = fn(repeats=args.repeats, seed=args.seed, jobs=jobs, cache=cache)
+    elif number == 6:
+        result = fn(seed=args.seed, jobs=jobs, cache=cache)
+    elif number in (7, 8, 9):
+        result = fn(seed=args.seed)
+    else:
+        result = fn()
+    print(result.to_text())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report, sweep_stats_section
+
+    jobs, cache = _sweep_options(args)
+    for result in generate_report(
+        repeats=args.repeats, seed=args.seed, quick=args.quick,
+        jobs=jobs, cache=cache,
+    ):
         print(result.to_text())
         print()
+    print(sweep_stats_section().to_text())
     return 0
 
 
@@ -299,11 +316,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name in available_scenarios():
             print(name)
         return 0
+    jobs, cache = _sweep_options(args)
     report = run_bench(
         scenarios=args.scenarios,
         seed=args.seed,
         quick=args.quick,
         baseline=args.baseline,
+        jobs=jobs,
+        cache_dir=cache,
     )
     print(report.to_text())
     if args.json and args.json != "-":
@@ -325,13 +345,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "table":
-        return _cmd_table(args.number)
+        return _cmd_table(args)
     if args.command == "figure":
-        return _cmd_figure(args.number, args.repeats, args.seed)
+        return _cmd_figure(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "report":
-        return _cmd_report(args.repeats, args.seed, args.quick)
+        return _cmd_report(args)
     if args.command == "compile":
         return _cmd_compile(args)
     if args.command == "thresholds":

@@ -32,8 +32,10 @@ from repro.experiments.profitability import figure9_profitability, profitability
 from repro.experiments.report import (
     ExperimentResult,
     format_table,
+    generate_report,
     metrics_section,
     percent_gain,
+    sweep_stats_section,
 )
 from repro.experiments.sensitivity import (
     arm_capacity_sensitivity,
@@ -41,8 +43,23 @@ from repro.experiments.sensitivity import (
     interconnect_sensitivity,
     reconfig_time_sensitivity,
 )
+from repro.experiments.sweep import (
+    Cell,
+    CellResult,
+    SweepCache,
+    SweepOutcome,
+    SweepStats,
+    cells_for_sets,
+    cells_for_throughput,
+    derive_seeds,
+    results_checksum,
+    run_cell,
+    run_cells,
+    sweep_metrics,
+)
 from repro.experiments.tables import (
     measure_scenario,
+    run_scenario_on,
     table1_execution_times,
     table2_thresholds,
     table4_bfs,
@@ -51,15 +68,30 @@ from repro.experiments.throughput import figure6_throughput, measure_throughput
 from repro.experiments.timeline import Timeline, TimelineEvent, extract_timeline
 
 __all__ = [
+    "Cell",
+    "CellResult",
     "ExperimentResult",
     "LoadClass",
     "MODE_LABELS",
     "MetricsRun",
     "SetOutcome",
+    "SweepCache",
+    "SweepOutcome",
+    "SweepStats",
     "Timeline",
     "TimelineEvent",
     "WaveLoad",
+    "cells_for_sets",
+    "cells_for_throughput",
+    "derive_seeds",
     "extract_timeline",
+    "generate_report",
+    "results_checksum",
+    "run_cell",
+    "run_cells",
+    "run_scenario_on",
+    "sweep_metrics",
+    "sweep_stats_section",
     "arm_capacity_sensitivity",
     "average_execution_time",
     "background_duty_sensitivity",

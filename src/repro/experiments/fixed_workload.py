@@ -11,15 +11,14 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core import SystemMode
-from repro.experiments.harness import (
-    MODE_LABELS,
-    average_execution_time,
-    sample_application_set,
-)
+from repro.experiments.harness import MODE_LABELS
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sweep import cells_for_sets, run_cells
 
 __all__ = ["figure3_low_load", "figure4_medium_load", "figure5_high_load", "fixed_workload_sweep"]
 
@@ -43,31 +42,49 @@ def fixed_workload_sweep(
     modes: Sequence[SystemMode],
     repeats: int = 10,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ExperimentResult:
     """The common engine behind Figures 3-5.
 
     ``total_processes`` is the target process count (set + MG-B
-    background); ``None`` means no background (Figure 3).
+    background); ``None`` means no background (Figure 3). The whole
+    grid (sizes x modes x repeats) is emitted as one cell list and
+    fanned out over ``jobs`` workers; any ``jobs`` value produces
+    byte-identical rows.
     """
     headers = ["set_size"]
     for mode in modes:
         headers += [f"{MODE_LABELS[mode]} (ms)", "std"]
     result = ExperimentResult(name=name, headers=headers)
+    cells = []
     for size in set_sizes:
         background = 0
         if total_processes is not None:
             background = max(0, total_processes - size)
+        cells.extend(
+            cells_for_sets(
+                size, modes, background=background, repeats=repeats, seed=seed
+            )
+        )
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    per_size = repeats * len(modes)
+    for index, size in enumerate(set_sizes):
+        block = sweep.results[index * per_size : (index + 1) * per_size]
         row: list = [size]
         for mode in modes:
-            mean_s, std_s = average_execution_time(
-                size, mode, background=background, repeats=repeats, seed=seed
-            )
-            row += [mean_s * 1e3, std_s * 1e3]
+            averages = [
+                r.outcome.average_s for r in block if r.cell.mode is mode
+            ]
+            row += [
+                float(np.mean(averages)) * 1e3,
+                float(np.std(averages)) * 1e3,
+            ]
         result.rows.append(row)
     return result
 
 
-def figure3_low_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
+def figure3_low_load(repeats: int = 10, seed: int = 0, jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Figure 3: 1-5 applications, fewer processes than x86 cores."""
     result = fixed_workload_sweep(
         "Figure 3: average execution time, low load (< #x86 cores)",
@@ -76,6 +93,8 @@ def figure3_low_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
         modes=_LOW_MODES,
         repeats=repeats,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     result.notes = (
         "Paper: Xar-Trek ~= Vanilla/x86 (it rarely migrates at low load); "
@@ -84,7 +103,7 @@ def figure3_low_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
     return result
 
 
-def figure4_medium_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
+def figure4_medium_load(repeats: int = 10, seed: int = 0, jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Figure 4: 60 total processes (between #x86 and total cores)."""
     result = fixed_workload_sweep(
         "Figure 4: average execution time, medium load (60 processes)",
@@ -93,12 +112,14 @@ def figure4_medium_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
         modes=_LOADED_MODES,
         repeats=repeats,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     result.notes = "Paper: Xar-Trek gains 88%-1% over Vanilla/x86."
     return result
 
 
-def figure5_high_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
+def figure5_high_load(repeats: int = 10, seed: int = 0, jobs: Optional[int] = None, cache=None) -> ExperimentResult:
     """Figure 5: 120 total processes (more than all 102 cores)."""
     result = fixed_workload_sweep(
         "Figure 5: average execution time, high load (120 processes)",
@@ -107,6 +128,8 @@ def figure5_high_load(repeats: int = 10, seed: int = 0) -> ExperimentResult:
         modes=_LOADED_MODES,
         repeats=repeats,
         seed=seed,
+        jobs=jobs,
+        cache=cache,
     )
     result.notes = "Paper: Xar-Trek gains 31%-19% over Vanilla/x86."
     return result

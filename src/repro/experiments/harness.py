@@ -84,17 +84,39 @@ def run_application_set(
     background: int = 0,
     seed: int = 0,
     runtime: Optional[XarTrekRuntime] = None,
+    duty: float = 1.0,
 ) -> SetOutcome:
     """Launch ``apps`` concurrently on a fresh deployment and wait.
 
-    ``background`` MG-B load generators run on the x86 host for the
-    duration. Every run uses its own simulator, so repeats are
-    independent and deterministic in ``seed``.
+    ``background`` MG-B load generators (CPU-bound fraction ``duty``)
+    run on the x86 host for the duration. Every run uses its own
+    simulator, so repeats are independent and deterministic in
+    ``seed``: per-launch seeds are spawned from one
+    :class:`~numpy.random.SeedSequence` rooted at ``seed``, so they
+    never collide across base seeds (the old ``seed * 1000 + i``
+    arithmetic did).
+
+    When a prebuilt ``runtime`` is passed, its platform (and therefore
+    the platform RNG seed it was built with) is used as-is — only the
+    per-launch seeds still derive from ``seed``. The runtime must have
+    been compiled with every application in ``apps``; a partial
+    deployment raises ``ValueError`` instead of failing mid-launch.
     """
-    runtime = runtime or build_system(sorted(set(apps)), seed=seed)
-    load = runtime.launch_background(background) if background else None
+    if runtime is None:
+        runtime = build_system(sorted(set(apps)), seed=seed)
+    else:
+        missing = sorted(set(apps) - set(runtime.result.applications))
+        if missing:
+            raise ValueError(
+                f"prebuilt runtime lacks applications {missing}; it was "
+                f"compiled with {sorted(runtime.result.applications)}"
+            )
+    from repro.experiments.sweep import derive_seeds
+
+    launch_seeds = derive_seeds(seed, len(apps))
+    load = runtime.launch_background(background, duty=duty) if background else None
     events = [
-        runtime.launch(app, seed=seed * 1000 + i, mode=mode, delay_s=_LAUNCH_DELAY_S)
+        runtime.launch(app, seed=launch_seeds[i], mode=mode, delay_s=_LAUNCH_DELAY_S)
         for i, app in enumerate(apps)
     ]
     records = runtime.wait_all(events)
@@ -115,19 +137,23 @@ def average_execution_time(
     repeats: int = 10,
     seed: int = 0,
     pool: Sequence[str] = PAPER_BENCHMARKS,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> tuple[float, float]:
     """Mean and standard deviation over ``repeats`` random sets.
 
     Each repeat samples a fresh application set (same sets across
     modes for a given seed, since sampling is seed-deterministic and
-    independent of the mode).
+    independent of the mode). The repeats are emitted as sweep cells
+    and fanned out over ``jobs`` workers (see
+    :mod:`repro.experiments.sweep`); results are byte-identical for
+    any ``jobs``.
     """
-    rng = np.random.default_rng(seed)
-    averages = []
-    for repeat in range(repeats):
-        apps = sample_application_set(rng, set_size, pool)
-        outcome = run_application_set(
-            apps, mode, background=background, seed=seed * 100 + repeat
-        )
-        averages.append(outcome.average_s)
+    from repro.experiments.sweep import cells_for_sets, run_cells
+
+    cells = cells_for_sets(
+        set_size, mode, background=background, repeats=repeats, seed=seed, pool=pool
+    )
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    averages = [result.outcome.average_s for result in sweep.results]
     return float(np.mean(averages)), float(np.std(averages))

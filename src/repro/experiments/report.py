@@ -3,14 +3,42 @@
 Every experiment returns an :class:`ExperimentResult`: named columns,
 rows, and free-form notes. ``to_text`` renders an aligned text table so
 benchmark runs print the same rows/series the paper reports.
+
+:func:`generate_report` regenerates *every* table and figure (the
+``repro report`` command): the simulation-driven ones emit sweep cells
+and consume executor results (see :mod:`repro.experiments.sweep`), so
+the whole report fans out over ``jobs`` workers and can reuse an
+on-disk result cache between runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "metrics_section", "percent_gain"]
+__all__ = [
+    "ExperimentResult",
+    "REPORT_FIGURES",
+    "REPORT_TABLES",
+    "format_table",
+    "generate_report",
+    "metrics_section",
+    "percent_gain",
+    "sweep_stats_section",
+]
+
+#: The paper's tables/figures by number -> experiment function name.
+REPORT_TABLES = {1: "table1_execution_times", 2: "table2_thresholds",
+                 3: "table3_load_classes", 4: "table4_bfs"}
+REPORT_FIGURES = {3: "figure3_low_load", 4: "figure4_medium_load",
+                  5: "figure5_high_load", 6: "figure6_throughput",
+                  7: "figure7_periodic_execution", 8: "figure8_periodic_throughput",
+                  9: "figure9_profitability", 10: "figure10_binary_sizes"}
+
+#: Numbers whose functions take (repeats, seed, jobs, cache).
+_SWEEP_FIGURES = (3, 4, 5)
+#: Numbers whose functions take (seed, jobs, cache) / (seed,) only.
+_SEEDED_FIGURES = (6, 7, 8, 9)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -79,6 +107,72 @@ class ExperimentResult:
             if row[0] == key:
                 return row
         raise KeyError(f"{self.name} has no row {key!r}")
+
+
+def generate_report(
+    repeats: int = 10,
+    seed: int = 0,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> Iterator[ExperimentResult]:
+    """Yield every table then every figure (the ``repro report`` data).
+
+    ``quick`` caps repeats at 3 and skips the periodic figures.
+    ``jobs`` / ``cache`` reach every experiment that runs through the
+    sweep executor (Tables 1, Figures 3-6); output is byte-identical
+    for any ``jobs`` value, and a warm cache skips every unchanged
+    cell.
+    """
+    import repro.experiments as experiments
+
+    if quick:
+        repeats = min(repeats, 3)
+    for number in sorted(REPORT_TABLES):
+        fn = getattr(experiments, REPORT_TABLES[number])
+        if number == 1:
+            yield fn(seed=seed, jobs=jobs, cache=cache)
+        else:
+            yield fn()
+    for number in sorted(REPORT_FIGURES):
+        if quick and number in (7, 8):
+            continue
+        fn = getattr(experiments, REPORT_FIGURES[number])
+        if number in _SWEEP_FIGURES:
+            yield fn(repeats=repeats, seed=seed, jobs=jobs, cache=cache)
+        elif number == 6:
+            yield fn(seed=seed, jobs=jobs, cache=cache)
+        elif number in _SEEDED_FIGURES:
+            yield fn(seed=seed)
+        else:
+            yield fn()
+
+
+def sweep_stats_section(name: str = "Sweep executor") -> ExperimentResult:
+    """The process-wide sweep counters as one small table.
+
+    Reads :func:`repro.experiments.sweep.sweep_metrics` — cells run,
+    cache hits/misses, worker utilization — so ``repro report`` can
+    show how much of the run was simulated versus served from cache.
+    """
+    from repro.experiments.sweep import sweep_metrics
+
+    registry = sweep_metrics()
+    result = ExperimentResult(name=name, headers=["metric", "value"])
+
+    def value_of(metric_name: str) -> float:
+        metric = registry.get(metric_name)
+        return float(metric.value) if metric is not None else 0.0
+
+    result.rows = [
+        ["cells submitted", int(value_of("sweep_cells_total"))],
+        ["cells simulated", int(value_of("sweep_cells_executed_total"))],
+        ["cache hits", int(value_of("sweep_cache_hits_total"))],
+        ["cache misses", int(value_of("sweep_cache_misses_total"))],
+        ["worker utilization", f"{value_of('sweep_worker_utilization'):.2f}"],
+        ["jobs (last sweep)", int(value_of("sweep_jobs"))],
+    ]
+    return result
 
 
 def metrics_section(snapshot: dict, name: str = "Metrics") -> ExperimentResult:

@@ -20,16 +20,15 @@ one carries:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.compiler.threshold_estimation import x86_time_under_load
-from repro.core import SystemMode, XarTrekRuntime, build_system
-from repro.experiments.harness import sample_application_set
+from repro.core import SystemMode
 from repro.experiments.report import ExperimentResult, percent_gain
-from repro.hardware import ALVEO_U50, THUNDERX, LinkSpec
-from repro.hardware.platform import HeterogeneousPlatform
+from repro.experiments.sweep import cells_for_sets, cells_for_throughput, run_cells
+from repro.hardware import LinkSpec
 from repro.workloads import PAPER_BENCHMARKS, profile_for
 
 __all__ = [
@@ -39,6 +38,26 @@ __all__ = [
     "interconnect_sensitivity",
 ]
 
+_AB_MODES = (SystemMode.VANILLA_X86, SystemMode.XAR_TREK)
+
+
+def _gain_rows(sweep_results, keys, repeats) -> list[list]:
+    """Aggregate an (x86, xar)-paired cell block per key into gain rows."""
+    rows = []
+    per_key = repeats * len(_AB_MODES)
+    for index, key in enumerate(keys):
+        block = sweep_results[index * per_key : (index + 1) * per_key]
+        means = {}
+        for mode in _AB_MODES:
+            times = [r.outcome.average_s for r in block if r.cell.mode is mode]
+            means[mode] = float(np.mean(times))
+        x86_mean = means[SystemMode.VANILLA_X86]
+        xar_mean = means[SystemMode.XAR_TREK]
+        rows.append(
+            [key, x86_mean * 1e3, xar_mean * 1e3, percent_gain(x86_mean, xar_mean)]
+        )
+    return rows
+
 
 def background_duty_sensitivity(
     duties: Sequence[float] = (0.25, 0.5, 1.0),
@@ -46,6 +65,8 @@ def background_duty_sensitivity(
     total_processes: int = 120,
     repeats: int = 5,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ExperimentResult:
     """Figure 5's gains vs how CPU-bound the background load is.
 
@@ -61,31 +82,17 @@ def background_duty_sensitivity(
         name="Sensitivity: high-load gain vs background duty cycle",
         headers=["duty", "Vanilla/x86 (ms)", "Xar-Trek (ms)", "gain (%)"],
     )
-    for duty in duties:
-        x86_times, xar_times = [], []
-        rng = np.random.default_rng(seed)
-        for repeat in range(repeats):
-            apps = sample_application_set(rng, set_size)
-            for mode, sink in (
-                (SystemMode.VANILLA_X86, x86_times),
-                (SystemMode.XAR_TREK, xar_times),
-            ):
-                runtime = build_system(sorted(set(apps)), seed=seed)
-                load = runtime.launch_background(
-                    max(0, total_processes - set_size), duty=duty
-                )
-                events = [
-                    runtime.launch(app, seed=repeat * 100 + i, mode=mode, delay_s=0.05)
-                    for i, app in enumerate(apps)
-                ]
-                records = runtime.wait_all(events)
-                load.stop()
-                sink.append(float(np.mean([r.elapsed_s for r in records])))
-        x86_mean = float(np.mean(x86_times))
-        xar_mean = float(np.mean(xar_times))
-        result.rows.append(
-            [duty, x86_mean * 1e3, xar_mean * 1e3, percent_gain(x86_mean, xar_mean)]
+    background = max(0, total_processes - set_size)
+    cells = [
+        cell
+        for duty in duties
+        for cell in cells_for_sets(
+            set_size, _AB_MODES, background=background, repeats=repeats,
+            seed=seed, duty=duty,
         )
+    ]
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    result.rows = _gain_rows(sweep.results, list(duties), repeats)
     result.notes = (
         "Lower duty = memory-bound background: the x86 baseline's "
         "dilation shrinks and the gain with it — but only by a few "
@@ -98,54 +105,30 @@ def background_duty_sensitivity(
     return result
 
 
-def _platform_with(arm_cores: int | None = None, reconfig_base_s: float | None = None):
-    arm_spec = THUNDERX if arm_cores is None else replace(THUNDERX, cores=arm_cores)
-    fpga_spec = ALVEO_U50
-    if reconfig_base_s is not None:
-        fpga_spec = replace(ALVEO_U50, reconfig_base_s=reconfig_base_s)
-    return HeterogeneousPlatform(arm_spec=arm_spec, fpga_spec=fpga_spec)
-
-
 def arm_capacity_sensitivity(
     arm_cores: Sequence[int] = (12, 24, 48, 96),
     set_size: int = 15,
     total_processes: int = 120,
     repeats: int = 5,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ExperimentResult:
     """Figure 5's operating point as the ARM server shrinks."""
     result = ExperimentResult(
         name="Sensitivity: Xar-Trek high-load gain vs ARM core count",
         headers=["ARM cores", "Vanilla/x86 (ms)", "Xar-Trek (ms)", "gain (%)"],
     )
-    for cores in arm_cores:
-        x86_times, xar_times = [], []
-        rng = np.random.default_rng(seed)
-        for repeat in range(repeats):
-            apps = sample_application_set(rng, set_size)
-            for mode, sink in (
-                (SystemMode.VANILLA_X86, x86_times),
-                (SystemMode.XAR_TREK, xar_times),
-            ):
-                runtime = XarTrekRuntime(
-                    build_system(sorted(set(apps))).result,
-                    platform=_platform_with(arm_cores=cores),
-                )
-                load = runtime.launch_background(
-                    max(0, total_processes - set_size)
-                )
-                events = [
-                    runtime.launch(app, seed=repeat * 100 + i, mode=mode, delay_s=0.05)
-                    for i, app in enumerate(apps)
-                ]
-                records = runtime.wait_all(events)
-                load.stop()
-                sink.append(float(np.mean([r.elapsed_s for r in records])))
-        x86_mean = float(np.mean(x86_times))
-        xar_mean = float(np.mean(xar_times))
-        result.rows.append(
-            [cores, x86_mean * 1e3, xar_mean * 1e3, percent_gain(x86_mean, xar_mean)]
+    background = max(0, total_processes - set_size)
+    cells = [
+        replace(cell, arm_cores=cores)
+        for cores in arm_cores
+        for cell in cells_for_sets(
+            set_size, _AB_MODES, background=background, repeats=repeats, seed=seed
         )
+    ]
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    result.rows = _gain_rows(sweep.results, list(arm_cores), repeats)
     result.notes = (
         "Finding: gains are nearly flat in ARM capacity — at this "
         "operating point the FPGA, not ARM, carries most migrated work, "
@@ -160,6 +143,8 @@ def reconfig_time_sensitivity(
     background: int = 50,
     window_s: float = 60.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ExperimentResult:
     """Figure 6's Xar-Trek vs always-FPGA gap vs programming time."""
     result = ExperimentResult(
@@ -171,24 +156,18 @@ def reconfig_time_sensitivity(
             "Xar-Trek advantage (%)",
         ],
     )
-    for base in base_seconds:
-        throughputs = {}
-        for mode in (SystemMode.ALWAYS_FPGA, SystemMode.XAR_TREK):
-            runtime = XarTrekRuntime(
-                build_system(["facedet.320"]).result,
-                platform=_platform_with(reconfig_base_s=base),
-            )
-            load = runtime.launch_background(background)
-            record = runtime.platform.sim.run_until_event(
-                runtime.launch(
-                    "facedet.320", seed=seed, mode=mode, calls=1000,
-                    deadline_s=window_s, delay_s=0.01,
-                )
-            )
-            load.stop()
-            throughputs[mode] = record.calls_completed / window_s
-        fpga = throughputs[SystemMode.ALWAYS_FPGA]
-        xar = throughputs[SystemMode.XAR_TREK]
+    modes = (SystemMode.ALWAYS_FPGA, SystemMode.XAR_TREK)
+    cells = [
+        cell
+        for base in base_seconds
+        for cell in cells_for_throughput(
+            "facedet.320", modes, (background,), n_images=1000,
+            window_s=window_s, seed=seed, delay_s=0.01, reconfig_base_s=base,
+        )
+    ]
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    for index, base in enumerate(base_seconds):
+        fpga, xar = (float(r.value) for r in sweep.results[index * 2 : index * 2 + 2])
         result.rows.append(
             [base, fpga, xar, (xar - fpga) / fpga * 100.0 if fpga else 0.0]
         )

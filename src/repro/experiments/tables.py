@@ -9,7 +9,7 @@ BFS workload functionally and reports the modelled per-target times.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.compiler.threshold_estimation import estimate_thresholds
 from repro.core import SystemMode, build_system
@@ -25,19 +25,23 @@ from repro.workloads import (
 
 __all__ = [
     "measure_scenario",
+    "run_scenario_on",
     "table1_execution_times",
     "table2_thresholds",
     "table4_bfs",
 ]
 
+#: Table 1's column order of scenarios.
+_TABLE1_SCENARIOS = ("x86", "fpga", "arm")
 
-def measure_scenario(app_name: str, scenario: str, seed: int = 0) -> float:
-    """One benchmark, alone, under one of Table 1's three scenarios.
+
+def run_scenario_on(runtime, app_name: str, scenario: str, seed: int = 0) -> float:
+    """One benchmark, alone, under one of Table 1's three scenarios,
+    on an already-deployed runtime.
 
     ``scenario`` is ``x86``, ``fpga`` (card preconfigured, as the paper
     measures it), or ``arm`` (forced migration via the threshold table).
     """
-    runtime = build_system([app_name], seed=seed)
     if scenario == "x86":
         done = runtime.launch(app_name, seed=seed, mode=SystemMode.VANILLA_X86)
     elif scenario == "fpga":
@@ -54,8 +58,17 @@ def measure_scenario(app_name: str, scenario: str, seed: int = 0) -> float:
     return record.elapsed_s
 
 
-def table1_execution_times(seed: int = 0) -> ExperimentResult:
+def measure_scenario(app_name: str, scenario: str, seed: int = 0) -> float:
+    """:func:`run_scenario_on` against a fresh single-app deployment."""
+    return run_scenario_on(build_system([app_name], seed=seed), app_name, scenario, seed)
+
+
+def table1_execution_times(
+    seed: int = 0, jobs: Optional[int] = None, cache=None
+) -> ExperimentResult:
     """Table 1: per-benchmark times under vanilla x86 / x86+FPGA / x86+ARM."""
+    from repro.experiments.sweep import Cell, run_cells
+
     result = ExperimentResult(
         name="Table 1: benchmark execution times (ms)",
         headers=[
@@ -66,10 +79,24 @@ def table1_execution_times(seed: int = 0) -> ExperimentResult:
             "paper (x86/FPGA/ARM)",
         ],
     )
-    for name in PAPER_BENCHMARKS:
-        x86_s = measure_scenario(name, "x86", seed)
-        fpga_s = measure_scenario(name, "fpga", seed)
-        arm_s = measure_scenario(name, "arm", seed)
+    cells = [
+        Cell(
+            kind="scenario",
+            apps=(name,),
+            mode=SystemMode.XAR_TREK,
+            seed=seed,
+            scenario=scenario,
+        )
+        for name in PAPER_BENCHMARKS
+        for scenario in _TABLE1_SCENARIOS
+    ]
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    per_app = len(_TABLE1_SCENARIOS)
+    for index, name in enumerate(PAPER_BENCHMARKS):
+        x86_s, fpga_s, arm_s = (
+            float(r.value)
+            for r in sweep.results[index * per_app : (index + 1) * per_app]
+        )
         result.rows.append(
             [name, x86_s * 1e3, fpga_s * 1e3, arm_s * 1e3, PAPER_TABLE1_MS[name]]
         )

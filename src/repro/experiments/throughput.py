@@ -6,15 +6,20 @@ images processed per second. Background load is n MG-B processes,
 n in {0, 25, 50, 75, 100}. Vanilla/ARM is excluded (inferior in
 Figures 3-5). Xar-Trek configures the FPGA at application start, which
 is why it beats even the always-FPGA baseline.
+
+Each (background, mode) window is one sweep cell (see
+:mod:`repro.experiments.sweep`), so the figure fans out over ``jobs``
+workers and caches per window.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.core import SystemMode, build_system
+from repro.core import SystemMode
 from repro.experiments.harness import MODE_LABELS
 from repro.experiments.report import ExperimentResult
+from repro.experiments.sweep import Cell, cells_for_throughput, run_cell, run_cells
 
 __all__ = ["measure_throughput", "figure6_throughput"]
 
@@ -28,17 +33,26 @@ def measure_throughput(
     n_images: int = 1000,
     window_s: float = 60.0,
     seed: int = 0,
+    delay_s: float = 0.0,
+    reconfig_base_s: Optional[float] = None,
 ) -> float:
-    """Images per second achieved by one 60 s run under ``background``."""
-    runtime = build_system([_APP], seed=seed)
-    load = runtime.launch_background(background) if background else None
-    done = runtime.launch(
-        _APP, seed=seed, mode=mode, calls=n_images, deadline_s=window_s
+    """Images per second achieved by one 60 s run under ``background``.
+
+    ``reconfig_base_s`` overrides the FPGA's programming time (used by
+    the reconfiguration-time sensitivity study).
+    """
+    cell = Cell(
+        kind="throughput",
+        apps=(_APP,),
+        mode=mode,
+        seed=seed,
+        background=background,
+        calls=n_images,
+        window_s=window_s,
+        delay_s=delay_s,
+        reconfig_base_s=reconfig_base_s,
     )
-    record = runtime.platform.sim.run_until_event(done)
-    if load is not None:
-        load.stop()
-    return record.calls_completed / window_s
+    return float(run_cell(cell).value)
 
 
 def figure6_throughput(
@@ -46,6 +60,8 @@ def figure6_throughput(
     n_images: int = 1000,
     window_s: float = 60.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ExperimentResult:
     """Figure 6's series: throughput per background load per system."""
     headers = ["background"] + [f"{MODE_LABELS[m]} (img/s)" for m in _MODES]
@@ -53,15 +69,15 @@ def figure6_throughput(
         name="Figure 6: face-detection throughput vs background load",
         headers=headers,
     )
-    for background in background_loads:
-        row: list = [background]
-        for mode in _MODES:
-            row.append(
-                measure_throughput(
-                    mode, background, n_images=n_images, window_s=window_s, seed=seed
-                )
-            )
-        result.rows.append(row)
+    cells = cells_for_throughput(
+        _APP, _MODES, background_loads, n_images=n_images, window_s=window_s,
+        seed=seed,
+    )
+    sweep = run_cells(cells, jobs=jobs, cache=cache)
+    per_load = len(_MODES)
+    for index, background in enumerate(background_loads):
+        block = sweep.results[index * per_load : (index + 1) * per_load]
+        result.rows.append([background] + [float(r.value) for r in block])
     result.notes = (
         "Paper: Xar-Trek matches x86 at low load, gains ~4x beyond 25 "
         "background processes (FPGA threshold is 16), and beats "

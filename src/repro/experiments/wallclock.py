@@ -23,6 +23,7 @@ import hashlib
 import json
 import platform as _platform
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -31,10 +32,18 @@ import numpy as np
 
 from repro.core import SystemMode, build_system
 from repro.experiments.harness import run_application_set, sample_application_set
+from repro.experiments.sweep import (
+    SweepCache,
+    cells_for_sets,
+    resolve_jobs,
+    results_checksum,
+    run_cells,
+)
 from repro.experiments.throughput import measure_throughput
 
 __all__ = [
     "SCENARIOS",
+    "BenchContext",
     "BenchReport",
     "ScenarioResult",
     "available_scenarios",
@@ -45,6 +54,23 @@ __all__ = [
 
 #: High-load process target of Figure 5 (more than the testbed's 102 cores).
 _HIGH_LOAD_PROCESSES = 120
+
+#: The report's JSON schema tag; ``load_report`` refuses anything else.
+_SCHEMA = "xar-trek-bench/1"
+
+
+@dataclass(frozen=True)
+class BenchContext:
+    """Execution knobs a scenario may use (ignored by most).
+
+    ``jobs`` is the worker count for the parallel leg of
+    ``report_sweep``; ``cache_dir`` overrides its cache location
+    (default: a throwaway temp directory, so the cold/warm split is
+    controlled).
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
 
 
 def _peak_rss_bytes() -> int:
@@ -103,7 +129,7 @@ def _run_sets(
     return events, sim_seconds, lines
 
 
-def _scenario_fig3_low_load(seed: int, quick: bool):
+def _scenario_fig3_low_load(seed: int, quick: bool, ctx: BenchContext):
     """Figure-3 shape: small sets, no background, all four systems."""
     sizes = (2,) if quick else (2, 4)
     modes = (SystemMode.VANILLA_X86, SystemMode.XAR_TREK)
@@ -113,7 +139,7 @@ def _scenario_fig3_low_load(seed: int, quick: bool):
     return _run_sets(configs, seed)
 
 
-def _scenario_fig5_high_load(seed: int, quick: bool):
+def _scenario_fig5_high_load(seed: int, quick: bool, ctx: BenchContext):
     """Figure-5 shape: 120 resident processes, sets of 5-25 apps.
 
     This is the acceptance scenario for simulator-core perf work: the
@@ -135,7 +161,7 @@ def _scenario_fig5_high_load(seed: int, quick: bool):
     return _run_sets(configs, seed)
 
 
-def _scenario_fig6_throughput(seed: int, quick: bool):
+def _scenario_fig6_throughput(seed: int, quick: bool, ctx: BenchContext):
     """Figure-6 shape: 60 s face-detection window over MG-B background."""
     backgrounds = (50,) if quick else (0, 50, 100)
     modes = (SystemMode.XAR_TREK,)
@@ -162,11 +188,82 @@ def _scenario_fig6_throughput(seed: int, quick: bool):
     return events, sim_seconds, lines
 
 
-#: name -> callable(seed, quick) -> (events, sim_seconds, checksum_lines)
-SCENARIOS: dict[str, Callable[[int, bool], tuple[int, float, list[str]]]] = {
+def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
+    """Report-shaped sweep: one Figure-5-style cell grid executed three
+    ways — serial, parallel (``--jobs``), and parallel over a warm
+    cache — recording the wall clock of each leg.
+
+    The serial and parallel legs must produce identical checksums (the
+    executor's determinism contract); the warm leg must hit the cache
+    for every cell. Wall times and speedups land in the scenario's
+    ``extra`` payload, and in ``BENCH_wallclock.json``.
+    """
+    if quick:
+        sizes, modes, repeats = (5,), (SystemMode.XAR_TREK,), 2
+    else:
+        sizes = (5, 15, 25)
+        modes = (SystemMode.VANILLA_X86, SystemMode.ALWAYS_FPGA, SystemMode.XAR_TREK)
+        repeats = 3
+    cells = [
+        cell
+        for size in sizes
+        for cell in cells_for_sets(
+            size, modes, background=_HIGH_LOAD_PROCESSES - size,
+            repeats=repeats, seed=seed,
+        )
+    ]
+    jobs = resolve_jobs(ctx.jobs)
+
+    started = time.perf_counter()
+    serial = run_cells(cells, jobs=1)
+    serial_wall = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SweepCache(ctx.cache_dir or tmp)
+        started = time.perf_counter()
+        parallel = run_cells(cells, jobs=jobs, cache=cache)
+        parallel_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = run_cells(cells, jobs=jobs, cache=cache)
+        warm_wall = time.perf_counter() - started
+
+    serial_sum = results_checksum(serial.results)
+    if results_checksum(parallel.results) != serial_sum:
+        raise AssertionError(
+            "parallel sweep diverged from serial execution — the "
+            "determinism contract of repro.experiments.sweep is broken"
+        )
+    if results_checksum(warm.results) != serial_sum:
+        raise AssertionError("cached sweep results diverged from execution")
+
+    events = sum(r.events for r in serial.results)
+    sim_seconds = sum(r.sim_seconds for r in serial.results)
+    lines = [f"report_sweep:{len(cells)}:{serial_sum}"]
+    for result in serial.results:
+        lines.extend(_record_lines(result.outcome))
+    extra = {
+        "jobs": jobs,
+        "cells": len(cells),
+        "serial_wall_s": round(serial_wall, 6),
+        "parallel_wall_s": round(parallel_wall, 6),
+        "warm_cache_wall_s": round(warm_wall, 6),
+        "parallel_speedup": round(serial_wall / parallel_wall, 2)
+        if parallel_wall > 0 else 0.0,
+        "warm_cache_speedup": round(serial_wall / warm_wall, 2)
+        if warm_wall > 0 else 0.0,
+        "cache_hits_warm": warm.stats.cache_hits,
+        "worker_utilization": round(parallel.stats.worker_utilization, 3),
+    }
+    return events, sim_seconds, lines, extra
+
+
+#: name -> callable(seed, quick, ctx) ->
+#: (events, sim_seconds, checksum_lines[, extra])
+SCENARIOS: dict[str, Callable[..., tuple]] = {
     "fig3_low_load": _scenario_fig3_low_load,
     "fig5_high_load": _scenario_fig5_high_load,
     "fig6_throughput": _scenario_fig6_throughput,
+    "report_sweep": _scenario_report_sweep,
 }
 
 
@@ -184,13 +281,16 @@ class ScenarioResult:
     sim_seconds: float
     peak_rss_bytes: int
     checksum: str
+    #: Scenario-specific payload (e.g. report_sweep's serial/parallel
+    #: wall clocks and speedups); empty for plain timing scenarios.
+    extra: dict = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
         return self.events / self.wall_s if self.wall_s > 0 else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "wall_s": round(self.wall_s, 6),
             "events": self.events,
@@ -199,6 +299,9 @@ class ScenarioResult:
             "peak_rss_bytes": self.peak_rss_bytes,
             "checksum": self.checksum,
         }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
 
 
 @dataclass
@@ -252,12 +355,21 @@ class BenchReport:
                 f"{result.events_per_sec:>10.0f} {result.sim_seconds:>9.1f} "
                 f"{result.peak_rss_bytes / 2**20:>7.1f}MB"
             )
+            if result.extra:
+                detail = ", ".join(f"{k}={v}" for k, v in result.extra.items())
+                lines.append(f"  {result.name} extra: {detail}")
         for name, speedup in sorted(self.speedups().items()):
             lines.append(f"{name}: {speedup:.2f}x vs baseline")
         return "\n".join(lines)
 
 
-def run_scenario(name: str, seed: int = 0, quick: bool = False) -> ScenarioResult:
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> ScenarioResult:
     """Time one named scenario; see :data:`SCENARIOS`."""
     try:
         fn = SCENARIOS[name]
@@ -265,9 +377,12 @@ def run_scenario(name: str, seed: int = 0, quick: bool = False) -> ScenarioResul
         raise KeyError(
             f"unknown bench scenario {name!r}; pick from {sorted(SCENARIOS)}"
         ) from None
+    ctx = BenchContext(jobs=resolve_jobs(jobs), cache_dir=cache_dir)
     started = time.perf_counter()
-    events, sim_seconds, lines = fn(seed, quick)
+    outcome = fn(seed, quick, ctx)
     wall_s = time.perf_counter() - started
+    events, sim_seconds, lines = outcome[:3]
+    extra = outcome[3] if len(outcome) > 3 else {}
     return ScenarioResult(
         name=name,
         wall_s=wall_s,
@@ -275,13 +390,26 @@ def run_scenario(name: str, seed: int = 0, quick: bool = False) -> ScenarioResul
         sim_seconds=sim_seconds,
         peak_rss_bytes=_peak_rss_bytes(),
         checksum=_checksum(lines),
+        extra=extra,
     )
 
 
 def load_report(path: str) -> dict[str, float]:
-    """Read a committed bench JSON; returns scenario name -> wall seconds."""
+    """Read a committed bench JSON; returns scenario name -> wall seconds.
+
+    Refuses a baseline whose ``schema`` field is missing or different —
+    wall times from another schema generation are not comparable, and a
+    silent mismatch would make the reported speedups fiction.
+    """
     with open(path) as handle:
         payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != _SCHEMA:
+        raise ValueError(
+            f"baseline {path!r} has schema {schema!r}, expected {_SCHEMA!r}; "
+            "regenerate it with `python -m repro bench --json <file>` "
+            "before comparing against it"
+        )
     return {
         entry["name"]: float(entry["wall_s"]) for entry in payload.get("scenarios", [])
     }
@@ -292,11 +420,15 @@ def run_bench(
     seed: int = 0,
     quick: bool = False,
     baseline: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> BenchReport:
     """Run the named scenarios (default: all) and collect a report."""
     report = BenchReport(seed=seed, quick=quick)
     if baseline:
         report.baseline_wall_s = load_report(baseline)
     for name in scenarios or available_scenarios():
-        report.results.append(run_scenario(name, seed=seed, quick=quick))
+        report.results.append(
+            run_scenario(name, seed=seed, quick=quick, jobs=jobs, cache_dir=cache_dir)
+        )
     return report
