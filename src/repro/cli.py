@@ -129,6 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the report here ('-' to skip)")
     bench.add_argument("--baseline", default=None, metavar="FILE",
                        help="earlier bench JSON to compute speedups against")
+    bench.add_argument("--guard", default=None, metavar="FILE",
+                       help="committed bench JSON to guard events/sec "
+                       "against; exit 1 on a drop beyond --guard-drop")
+    bench.add_argument("--guard-drop", type=float, default=0.30,
+                       metavar="FRACTION",
+                       help="allowed events/sec drop vs --guard "
+                       "(default: 0.30)")
     _add_sweep_flags(bench)
 
     metrics = sub.add_parser(
@@ -310,7 +317,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.wallclock import available_scenarios, run_bench
+    from repro.experiments.wallclock import (
+        available_scenarios,
+        guard_events_per_sec,
+        run_bench,
+    )
 
     if args.list_scenarios:
         for name in available_scenarios():
@@ -330,6 +341,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
         print(f"json        : {args.json}")
+    if args.guard:
+        failures = guard_events_per_sec(report, args.guard, max_drop=args.guard_drop)
+        for failure in failures:
+            print(f"GUARD FAIL  : {failure}")
+        if failures:
+            return 1
+        print(f"guard       : events/sec within {args.guard_drop:.0%} of {args.guard}")
     return 0
 
 

@@ -274,6 +274,22 @@ class XarTrekRuntime:
             results.append(self.platform.sim.run_until_event(event))
         return results
 
+    # -- load accounting -----------------------------------------------------
+    def load_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-cluster load aggregates, read in O(1) from the fair-share
+        servers' running integrals (no walk over active job sets).
+
+        Keys per cluster: ``value`` (current active jobs), ``min`` /
+        ``max`` (post-transition extrema), ``time_weighted_mean`` (exact
+        over [first submit, now]), ``updates`` (job start/finish
+        transitions). The scale benchmarks report these for thousands of
+        clients without perturbing the hot path.
+        """
+        return {
+            "x86": self.platform.x86.cpu.load_snapshot(),
+            "arm": self.platform.arm.cpu.load_snapshot(),
+        }
+
     def _finish(self, record: RunRecord) -> None:
         self.records.append(record)
 

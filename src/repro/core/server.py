@@ -15,7 +15,7 @@ time exactly like the real client/server pair.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.policy import Decision, decide
 from repro.hardware.platform import HeterogeneousPlatform
@@ -73,6 +73,25 @@ class ServerStats:
             "fpga_reconfigurations_failed_total",
             "reconfigurations that failed to program the card",
         )
+        # Per-decision fast path: resolve each label child once (lazily,
+        # so the exported series set is unchanged) instead of going
+        # through the labels() validation on every request.
+        self._decision_children: dict[Any, Any] = {}
+        self._rule_children: dict[str, Any] = {}
+
+    def _count_decision(self, decision) -> None:
+        """O(1) per-request accounting (no per-request label resolution)."""
+        self._requests.inc()
+        target_child = self._decision_children.get(decision.target)
+        if target_child is None:
+            target_child = self._decisions.labels(target=str(decision.target))
+            self._decision_children[decision.target] = target_child
+        target_child.inc()
+        rule_child = self._rule_children.get(decision.rule)
+        if rule_child is None:
+            rule_child = self._rules.labels(rule=decision.rule)
+            self._rule_children[decision.rule] = rule_child
+        rule_child.inc()
 
     # -- thin views over the counters ------------------------------------
     @property
@@ -211,17 +230,16 @@ class SchedulerServer:
         load = self.platform.x86_load + 1
         available = bool(entry.kernel_name) and self.xrt.has_kernel(entry.kernel_name)
         decision = self.policy(load, entry, available)
-        self.stats._requests.inc()
-        self.stats._decisions.labels(target=str(decision.target)).inc()
-        self.stats._rules.labels(rule=decision.rule).inc()
-        self.tracer.record(
-            "scheduler",
-            f"{app_name}: load={load} -> {decision.target} ({decision.rule})",
-            app=app_name,
-            load=load,
-            target=str(decision.target),
-            rule=decision.rule,
-        )
+        self.stats._count_decision(decision)
+        if self.tracer.enabled:
+            self.tracer.record(
+                "scheduler",
+                f"{app_name}: load={load} -> {decision.target} ({decision.rule})",
+                app=app_name,
+                load=load,
+                target=str(decision.target),
+                rule=decision.rule,
+            )
         if decision.reconfigure:
             self._maybe_reconfigure(entry.kernel_name)
         return decision

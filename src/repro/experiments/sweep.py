@@ -63,6 +63,7 @@ __all__ = [
     "cells_for_sets",
     "cells_for_throughput",
     "derive_seeds",
+    "parallel_threshold",
     "platform_config_hash",
     "resolve_jobs",
     "results_checksum",
@@ -74,6 +75,20 @@ __all__ = [
 #: Environment variable read by :func:`resolve_jobs` when no explicit
 #: ``jobs`` is given (CI sets it to exercise the pool path).
 JOBS_ENV = "REPRO_SWEEP_JOBS"
+
+#: Environment variable overriding :func:`parallel_threshold` — the
+#: minimum number of to-be-executed cells before a multi-job sweep
+#: actually spins up the process pool. ``0`` disables the serial
+#: fallback entirely (CI sets it to force the pool path on tiny
+#: sweeps so the serial/parallel equivalence contract stays covered).
+MIN_CELLS_ENV = "REPRO_SWEEP_MIN_CELLS"
+
+#: Default pool-worthiness threshold, in pending cells per worker.
+#: Spawning workers and pickling cells costs real wall time; a cell
+#: simulates in the low tens of milliseconds, so a worker needs a
+#: batch of them before the pool amortizes (the committed bench once
+#: recorded parallel_speedup 0.66 — a slowdown — on a 27-cell grid).
+_MIN_CELLS_PER_WORKER = 16
 
 
 # ---------------------------------------------------------------------------
@@ -393,24 +408,46 @@ def resolve_jobs(jobs: Optional[int | str] = None) -> int:
     return max(1, int(jobs))
 
 
+def parallel_threshold(workers: int) -> int:
+    """Minimum pending-cell count for the pool to be worth starting.
+
+    Defaults to ``16 * workers``; the ``REPRO_SWEEP_MIN_CELLS`` env var
+    overrides it outright (``0`` disables the serial fallback).
+    """
+    raw = os.environ.get(MIN_CELLS_ENV)
+    if raw is not None:
+        return max(0, int(raw))
+    return _MIN_CELLS_PER_WORKER * max(1, workers)
+
+
 @dataclass
 class SweepStats:
-    """Executor accounting for one :func:`run_cells` call."""
+    """Executor accounting for one :func:`run_cells` call.
+
+    ``jobs`` is the *requested* worker count (after
+    :func:`resolve_jobs`); ``workers`` is how many actually ran, and
+    ``mode`` records whether the process pool was used — a multi-job
+    sweep falls back to ``"serial"`` when the pending-cell count is
+    below :func:`parallel_threshold`, where pool startup would cost
+    more than it buys.
+    """
 
     cells_total: int = 0
     executed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     jobs: int = 1
+    workers: int = 1
+    mode: str = "serial"
     wall_s: float = 0.0
     busy_s: float = 0.0
 
     @property
     def worker_utilization(self) -> float:
         """Fraction of the worker-seconds budget spent simulating."""
-        if self.wall_s <= 0 or self.jobs <= 0:
+        if self.wall_s <= 0 or self.workers <= 0:
             return 0.0
-        return min(1.0, self.busy_s / (self.jobs * self.wall_s))
+        return min(1.0, self.busy_s / (self.workers * self.wall_s))
 
 
 @dataclass
@@ -429,8 +466,9 @@ def sweep_metrics() -> MetricsRegistry:
 
     Families: ``sweep_cells_total{kind}``, ``sweep_cache_hits_total``,
     ``sweep_cache_misses_total``, ``sweep_cells_executed_total``,
-    ``sweep_cell_wall_seconds`` (histogram), and the gauges
-    ``sweep_worker_utilization`` / ``sweep_jobs``.
+    ``sweep_runs_total{mode}``, ``sweep_cell_wall_seconds``
+    (histogram), and the gauges ``sweep_worker_utilization`` /
+    ``sweep_jobs``.
     """
     global _SWEEP_METRICS
     if _SWEEP_METRICS is None:
@@ -459,8 +497,11 @@ def _record_stats(registry: MetricsRegistry, stats: SweepStats, results) -> None
     for result in results:
         if not result.cached:
             wall.observe(result.wall_s)
+    registry.counter(
+        "sweep_runs_total", "run_cells invocations by execution mode", ("mode",)
+    ).labels(mode=stats.mode).inc()
     registry.gauge(
-        "sweep_worker_utilization", "busy worker-seconds / (jobs * wall)"
+        "sweep_worker_utilization", "busy worker-seconds / (workers * wall)"
     ).set(stats.worker_utilization)
     registry.gauge("sweep_jobs", "worker count of the last sweep").set(stats.jobs)
 
@@ -483,6 +524,14 @@ def run_cells(
     ``chunksize`` controls how many cells each pool task carries
     (default: enough for ~4 chunks per worker) to amortize worker
     startup and per-task pickling.
+
+    A multi-job call still runs serially when fewer than
+    :func:`parallel_threshold` cells actually need simulating — pool
+    startup costs hundreds of milliseconds, which on a small grid of
+    tens-of-milliseconds cells is a net slowdown, not a speedup. The
+    chosen path lands in ``SweepOutcome.stats.mode`` and the
+    ``sweep_runs_total{mode}`` counter; ``REPRO_SWEEP_MIN_CELLS=0``
+    disables the fallback.
     """
     cells = list(cells)
     jobs = resolve_jobs(jobs)
@@ -498,8 +547,16 @@ def run_cells(
             hits += 1
         else:
             pending.append(index)
-    if jobs > 1 and len(pending) > 1:
+    workers = 1
+    mode = "serial"
+    use_pool = (
+        jobs > 1
+        and len(pending) > 1
+        and len(pending) >= parallel_threshold(min(jobs, len(pending)))
+    )
+    if use_pool:
         workers = min(jobs, len(pending))
+        mode = "parallel"
         chunk = chunksize or max(1, math.ceil(len(pending) / (workers * 4)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             fresh = pool.map(
@@ -519,6 +576,8 @@ def run_cells(
         cache_hits=hits,
         cache_misses=len(pending) if cache is not None else 0,
         jobs=jobs,
+        workers=workers,
+        mode=mode,
         wall_s=time.perf_counter() - started,
         busy_s=float(sum(results[i].wall_s for i in pending)),
     )

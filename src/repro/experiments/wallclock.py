@@ -47,7 +47,9 @@ __all__ = [
     "BenchReport",
     "ScenarioResult",
     "available_scenarios",
+    "guard_events_per_sec",
     "load_report",
+    "load_report_entries",
     "run_bench",
     "run_scenario",
 ]
@@ -95,12 +97,16 @@ def _checksum(parts: Sequence[str]) -> str:
     return digest.hexdigest()[:16]
 
 
-def _record_lines(outcome) -> list[str]:
+def _lines_for_records(records) -> list[str]:
     return [
         f"{rec.app},{rec.start_s:.9f},{rec.end_s:.9f},{rec.calls_completed},"
         f"{rec.migrations},{','.join(str(t) for t in rec.targets)}"
-        for rec in outcome.records
+        for rec in records
     ]
+
+
+def _record_lines(outcome) -> list[str]:
+    return _lines_for_records(outcome.records)
 
 
 def _run_sets(
@@ -244,6 +250,7 @@ def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
     extra = {
         "jobs": jobs,
         "cells": len(cells),
+        "parallel_mode": parallel.stats.mode,
         "serial_wall_s": round(serial_wall, 6),
         "parallel_wall_s": round(parallel_wall, 6),
         "warm_cache_wall_s": round(warm_wall, 6),
@@ -257,6 +264,57 @@ def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
     return events, sim_seconds, lines, extra
 
 
+def _scenario_scale_stress(seed: int, quick: bool, ctx: BenchContext):
+    """Fleet-scale shape: 1000+ clients on one deployment.
+
+    Every committed figure scenario tops out at a handful of clients;
+    this one drives a single Xar-Trek deployment with a thousand
+    staggered client runs over the full mixed benchmark set, resident
+    background load, and DSM-heavy migration churn (each XAR_TREK run
+    round-trips its working set over the shared Ethernet). It is the
+    acceptance scenario for the batched-DSM, closure-VM, and O(1)
+    load-accounting hot paths — the headline number is events/sec at
+    scale, guarded in CI against regressions.
+    """
+    from repro.workloads import PAPER_BENCHMARKS
+
+    n_clients = 250 if quick else 1000
+    background = 25 if quick else 50
+    pool = tuple(PAPER_BENCHMARKS)
+    rng = np.random.default_rng(seed)
+    runtime = build_system(sorted(set(pool)), seed=seed)
+    load = runtime.launch_background(background)
+    handles = []
+    for index in range(n_clients):
+        app = pool[int(rng.integers(len(pool)))]
+        delay = float(rng.uniform(0.0, 30.0))
+        handles.append(
+            runtime.launch(
+                app,
+                seed=seed + index,
+                mode=SystemMode.XAR_TREK,
+                calls=3,
+                delay_s=delay,
+            )
+        )
+    records = runtime.wait_all(handles)
+    load.stop()
+    sim = runtime.platform.sim
+    lines = [f"scale_stress:{n_clients}:{background}"]
+    lines.extend(_lines_for_records(records))
+    snapshot = runtime.load_snapshot()
+    dsm_stats = runtime.dsm.stats if runtime.dsm is not None else None
+    extra = {
+        "clients": n_clients,
+        "background": background,
+        "migrations": sum(rec.migrations for rec in records),
+        "dsm_page_transfers": dsm_stats.page_transfers if dsm_stats else 0,
+        "x86_mean_load": round(snapshot["x86"]["time_weighted_mean"], 2),
+        "x86_max_load": snapshot["x86"]["max"],
+    }
+    return sim.events_processed, sim.now, lines, extra
+
+
 #: name -> callable(seed, quick, ctx) ->
 #: (events, sim_seconds, checksum_lines[, extra])
 SCENARIOS: dict[str, Callable[..., tuple]] = {
@@ -264,6 +322,7 @@ SCENARIOS: dict[str, Callable[..., tuple]] = {
     "fig5_high_load": _scenario_fig5_high_load,
     "fig6_throughput": _scenario_fig6_throughput,
     "report_sweep": _scenario_report_sweep,
+    "scale_stress": _scenario_scale_stress,
 }
 
 
@@ -323,6 +382,22 @@ class BenchReport:
                 out[result.name] = base / result.wall_s
         return out
 
+    def new_scenarios(self) -> list[str]:
+        """Scenarios this run timed that the baseline never did.
+
+        Only meaningful with a baseline loaded; a scenario added since
+        the baseline was committed has no speedup to report, but must
+        show up as *new* rather than silently vanish from the
+        comparison.
+        """
+        if not self.baseline_wall_s:
+            return []
+        return [
+            result.name
+            for result in self.results
+            if result.name not in self.baseline_wall_s
+        ]
+
     def to_dict(self) -> dict:
         payload = {
             "schema": "xar-trek-bench/1",
@@ -339,6 +414,9 @@ class BenchReport:
             payload["speedup_vs_baseline"] = {
                 name: round(value, 2) for name, value in sorted(self.speedups().items())
             }
+            new = self.new_scenarios()
+            if new:
+                payload["new_vs_baseline"] = new
         return payload
 
     def to_json(self) -> str:
@@ -360,6 +438,8 @@ class BenchReport:
                 lines.append(f"  {result.name} extra: {detail}")
         for name, speedup in sorted(self.speedups().items()):
             lines.append(f"{name}: {speedup:.2f}x vs baseline")
+        for name in self.new_scenarios():
+            lines.append(f"{name}: new scenario (not in baseline)")
         return "\n".join(lines)
 
 
@@ -394,11 +474,11 @@ def run_scenario(
     )
 
 
-def load_report(path: str) -> dict[str, float]:
-    """Read a committed bench JSON; returns scenario name -> wall seconds.
+def load_report_entries(path: str) -> dict[str, dict]:
+    """Read a committed bench JSON; returns scenario name -> full entry.
 
     Refuses a baseline whose ``schema`` field is missing or different —
-    wall times from another schema generation are not comparable, and a
+    numbers from another schema generation are not comparable, and a
     silent mismatch would make the reported speedups fiction.
     """
     with open(path) as handle:
@@ -410,9 +490,43 @@ def load_report(path: str) -> dict[str, float]:
             "regenerate it with `python -m repro bench --json <file>` "
             "before comparing against it"
         )
+    return {entry["name"]: entry for entry in payload.get("scenarios", [])}
+
+
+def load_report(path: str) -> dict[str, float]:
+    """Like :func:`load_report_entries` but projected to wall seconds."""
     return {
-        entry["name"]: float(entry["wall_s"]) for entry in payload.get("scenarios", [])
+        name: float(entry["wall_s"])
+        for name, entry in load_report_entries(path).items()
     }
+
+
+def guard_events_per_sec(
+    report: BenchReport, baseline_path: str, max_drop: float = 0.30
+) -> list[str]:
+    """The CI regression tripwire: events/sec vs a committed report.
+
+    Events/sec is a *rate*, so a quick run is comparable against the
+    committed full-mode figure even though the event totals differ.
+    Returns one failure message per scenario whose rate dropped more
+    than ``max_drop`` below the baseline's; scenarios the baseline
+    never timed (or timed with a zero rate) are skipped — they have
+    nothing to regress against.
+    """
+    entries = load_report_entries(baseline_path)
+    failures = []
+    for result in report.results:
+        base = entries.get(result.name, {}).get("events_per_sec")
+        if not base:
+            continue
+        floor = float(base) * (1.0 - max_drop)
+        if result.events_per_sec < floor:
+            failures.append(
+                f"{result.name}: {result.events_per_sec:.0f} events/sec is "
+                f"more than {max_drop:.0%} below the committed "
+                f"{float(base):.0f} (floor {floor:.0f})"
+            )
+    return failures
 
 
 def run_bench(

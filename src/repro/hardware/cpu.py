@@ -61,14 +61,18 @@ class CPUCluster:
         self._server = FairShareServer(sim, spec.name, capacity=spec.cores, job_cap=1.0)
         self._load_gauge = None
         if metrics is not None:
-            # The scheduler's primary input, sampled on every job
-            # arrival and completion — a piecewise-constant timeline
-            # whose time-weighted mean is exact.
+            # The scheduler's primary input. Pull-sampled: the fair-share
+            # server already maintains the load timeline's aggregates
+            # incrementally (O(1) per job start/finish), so the gauge
+            # reads them at snapshot time instead of push-sampling on
+            # every transition — the exported series is identical, the
+            # per-job instrumentation cost is gone.
             self._load_gauge = metrics.gauge(
                 "cpu_load",
                 "active compute jobs per CPU cluster",
                 labelnames=("cluster",),
             ).labels(cluster=spec.name)
+            self._load_gauge.bind_sampler(self._server.load_snapshot)
 
     # -- load metrics -------------------------------------------------------
     @property
@@ -87,6 +91,10 @@ class CPUCluster:
     def utilization(self, since: float = 0.0) -> float:
         return self._server.utilization(since)
 
+    def load_snapshot(self) -> dict[str, float]:
+        """O(1) gauge-shaped load aggregates (see FairShareServer)."""
+        return self._server.load_snapshot()
+
     def mean_load(self, since: float = 0.0) -> float:
         return self._server.mean_load(since)
 
@@ -99,22 +107,19 @@ class CPUCluster:
         """
         return self._server.utilization(0.0) * self.sim.now * self._server.capacity
 
-    def _sample_load(self) -> None:
-        if self._load_gauge is not None:
-            self._load_gauge.set(self.load)
-
     # -- execution --------------------------------------------------------
     def execute(self, core_seconds: float, tag: Any = None) -> Event:
         """Run ``core_seconds`` of single-threaded work; returns done event."""
         job = self.execute_job(core_seconds, tag=tag)
-        self.tracer.record(
-            "cpu",
-            f"{self.spec.name}: job {job.job_id} submitted",
-            cluster=self.spec.name,
-            work=core_seconds,
-            load=self.load,
-            tag=tag,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "cpu",
+                f"{self.spec.name}: job {job.job_id} submitted",
+                cluster=self.spec.name,
+                work=core_seconds,
+                load=self.load,
+                tag=tag,
+            )
         return job.done
 
     def execute_job(self, core_seconds: float, tag: Any = None, on_complete=None) -> Job:
@@ -122,25 +127,13 @@ class CPUCluster:
 
         ``on_complete`` forwards to :meth:`FairShareServer.submit`: the
         callable is invoked with the job at completion and no ``done``
-        event is allocated.
+        event is allocated. Load metrics need no per-job hooks here —
+        the server's own aggregates feed the pull-sampled gauge.
         """
-        if on_complete is not None and self._load_gauge is not None:
-            caller_cb = on_complete
-
-            def on_complete(job: Job) -> None:
-                self._sample_load()
-                caller_cb(job)
-
-        job = self._server.submit(core_seconds, tag=tag, on_complete=on_complete)
-        if self._load_gauge is not None:
-            self._sample_load()
-            if job.done is not None:
-                job.done.callbacks.append(lambda _ev: self._sample_load())
-        return job
+        return self._server.submit(core_seconds, tag=tag, on_complete=on_complete)
 
     def cancel(self, job: Job) -> None:
         self._server.cancel(job)
-        self._sample_load()
 
     def predicted_time(self, core_seconds: float, extra_jobs: int = 0) -> float:
         """Time to finish ``core_seconds`` if the load stayed constant.

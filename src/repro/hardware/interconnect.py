@@ -69,14 +69,15 @@ class Link:
             sim.call_in(latency, lambda: done.succeed(nbytes))
 
         self._server.submit(float(nbytes), tag=tag, on_complete=after_bandwidth)
-        self.tracer.record(
-            "link",
-            f"{self.spec.name}: transfer of {nbytes:.0f} B started",
-            link=self.spec.name,
-            nbytes=nbytes,
-            concurrent=self.active_transfers,
-            tag=tag,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "link",
+                f"{self.spec.name}: transfer of {nbytes:.0f} B started",
+                link=self.spec.name,
+                nbytes=nbytes,
+                concurrent=self.active_transfers,
+                tag=tag,
+            )
         return done
 
     def ideal_transfer_time(self, nbytes: float) -> float:

@@ -104,6 +104,10 @@ class FairShareServer:
         "_busy_integral",
         "_virtual",
         "_finish_heap",
+        "_first_submit",
+        "_min_jobs",
+        "_max_jobs",
+        "_transitions",
     )
 
     def __init__(
@@ -131,6 +135,13 @@ class FairShareServer:
         #: (entry_virtual + work, job_id, Job) min-heap; entries for
         #: cancelled/finished jobs are skipped lazily.
         self._finish_heap: list[tuple[float, int, Job]] = []
+        #: O(1) load aggregates, maintained on every job start/finish
+        #: (submit / completion / cancel) so schedulers and metrics can
+        #: read load statistics without walking the active set.
+        self._first_submit: Optional[float] = None
+        self._min_jobs: Optional[int] = None
+        self._max_jobs: Optional[int] = None
+        self._transitions = 0
 
     # -- queries ---------------------------------------------------------
     @property
@@ -164,6 +175,47 @@ class FairShareServer:
             return 0.0
         return self._load_integral / elapsed
 
+    def load_snapshot(self) -> dict[str, float]:
+        """A gauge-shaped view of the load timeline, in O(1).
+
+        Equivalent to push-sampling a gauge with ``active_jobs`` on
+        every job start/finish — value, extrema, and the exact
+        time-weighted mean over [first submit, now] — but derived from
+        the running aggregates, so nothing is recomputed per scheduler
+        decision or metrics export. Suitable for
+        :meth:`repro.metrics.Gauge.bind_sampler`.
+        """
+        self._advance()
+        n = len(self._jobs)
+        if self._first_submit is None:
+            return {
+                "value": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "time_weighted_mean": 0.0,
+                "updates": 0,
+            }
+        elapsed = self.sim.now - self._first_submit
+        mean = self._load_integral / elapsed if elapsed > 0 else float(n)
+        return {
+            "value": float(n),
+            "min": float(self._min_jobs),
+            "max": float(self._max_jobs),
+            "time_weighted_mean": mean,
+            "updates": self._transitions,
+        }
+
+    def _record_transition(self) -> None:
+        """Fold the post-change load into the O(1) aggregates."""
+        n = len(self._jobs)
+        if self._first_submit is None:
+            self._first_submit = self.sim.now
+        if self._min_jobs is None or n < self._min_jobs:
+            self._min_jobs = n
+        if self._max_jobs is None or n > self._max_jobs:
+            self._max_jobs = n
+        self._transitions += 1
+
     # -- job lifecycle -----------------------------------------------------
     def submit(self, work: float, tag: Any = None, on_complete=None) -> Job:
         """Enter a job with total demand ``work``; returns its handle.
@@ -189,6 +241,7 @@ class FairShareServer:
         )
         if work == 0:
             job.finish_time = self.sim.now
+            self._record_transition()
             if on_complete is not None:
                 on_complete(job)
             else:
@@ -196,6 +249,7 @@ class FairShareServer:
             return job
         self._jobs[job.job_id] = job
         heappush(self._finish_heap, (job.entry_virtual + job.work, job.job_id, job))
+        self._record_transition()
         self._reschedule()
         return job
 
@@ -205,6 +259,7 @@ class FairShareServer:
         if self._jobs.pop(job.job_id, None) is not None:
             job._cancelled = True
             job.remaining = max(0.0, job.entry_virtual + job.work - self._virtual)
+            self._record_transition()
             self._reschedule()
 
     def remaining_work(self, job: Job) -> float:
@@ -290,6 +345,8 @@ class FairShareServer:
         for job in finished:
             job.remaining = 0.0
             job.finish_time = now
+        if finished:
+            self._record_transition()
         self._reschedule()
         for job in finished:
             if job.on_complete is not None:

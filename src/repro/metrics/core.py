@@ -177,7 +177,14 @@ class Counter(Metric):
 
 
 class Gauge(Metric):
-    """A sampled value with min/max and an exact time-weighted mean."""
+    """A sampled value with min/max and an exact time-weighted mean.
+
+    Two modes: *push* (the default — call :meth:`set`/:meth:`inc` on
+    every change, the integral advances per update) and *pull* (call
+    :meth:`bind_sampler` once with a callable owning equivalent running
+    aggregates; the series is derived at read time and the per-change
+    cost disappears from the instrumented hot path).
+    """
 
     kind = "gauge"
 
@@ -190,9 +197,29 @@ class Gauge(Metric):
         self._t0: Optional[float] = None  # time of the first set
         self._last_t = 0.0
         self._integral = 0.0
+        self._sampler: Optional[Callable[[], dict[str, Any]]] = None
+
+    def bind_sampler(self, sampler: Callable[[], dict[str, Any]]) -> None:
+        """Make this series pull-based: ``sampler()`` must return a dict
+        with ``value``, ``min``, ``max``, ``time_weighted_mean`` and
+        ``updates`` keys (e.g.
+        :meth:`repro.hardware.sharing.FairShareServer.load_snapshot`).
+        Mixing with push updates is rejected — two owners for the same
+        timeline cannot stay exact.
+        """
+        self._check_leaf()
+        if self._updates:
+            raise MetricError(
+                f"{self.name}: cannot bind a sampler after push updates"
+            )
+        self._sampler = sampler
 
     def set(self, value: float) -> None:
         self._check_leaf()
+        if self._sampler is not None:
+            raise MetricError(
+                f"{self.name}: gauge is sampler-bound; its value is pulled"
+            )
         now = self._clock()
         if self._t0 is None:
             self._t0 = now
@@ -213,11 +240,15 @@ class Gauge(Metric):
     @property
     def value(self) -> float:
         self._check_leaf()
+        if self._sampler is not None:
+            return float(self._sampler()["value"])
         return self._value
 
     def time_weighted_mean(self) -> float:
         """Mean value over [first set, now], exact for step signals."""
         self._check_leaf()
+        if self._sampler is not None:
+            return float(self._sampler()["time_weighted_mean"])
         if self._t0 is None:
             return 0.0
         now = self._clock()
@@ -228,6 +259,15 @@ class Gauge(Metric):
         return integral / elapsed
 
     def _series_snapshot(self) -> dict[str, Any]:
+        if self._sampler is not None:
+            sample = self._sampler()
+            return {
+                "value": float(sample["value"]),
+                "min": float(sample["min"]),
+                "max": float(sample["max"]),
+                "time_weighted_mean": float(sample["time_weighted_mean"]),
+                "updates": int(sample["updates"]),
+            }
         return {
             "value": self._value,
             "min": self._min if self._min is not None else 0.0,

@@ -20,6 +20,7 @@ and flat shared memory for heap data.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -176,7 +177,16 @@ class Program:
 # -- compilation: labels, migration points, liveness -----------------------------
 @dataclass(frozen=True)
 class CompiledProgram:
-    """A program plus its liveness metadata and per-function points."""
+    """A program plus its liveness metadata and per-function points.
+
+    Beyond the metadata fields, a compiled program carries *threaded
+    code*: every IR instruction is compiled to a bound Python closure
+    (see :func:`_compile_closures`), so :meth:`MigratableVM.run` is a
+    plain ``ops[pc](vm, act)`` loop with no isinstance dispatch. The
+    closure table is derived state — it is built eagerly by
+    :func:`compile_program`, rebuilt on demand after unpickling, and
+    never serialized (closures don't pickle).
+    """
 
     program: Program
     metadata: LivenessMetadata
@@ -185,6 +195,40 @@ class CompiledProgram:
     #: Migration point representing each function's entry (for frames
     #: created by Call).
     entry_points: dict[str, MigrationPoint]
+
+    _DERIVED = ("_code", "_var_maps")
+
+    @property
+    def code(self) -> dict[str, "_FunctionCode"]:
+        """function name -> threaded-code table (lazily rebuilt)."""
+        code = self.__dict__.get("_code")
+        if code is None:
+            code = _compile_closures(self)
+            object.__setattr__(self, "_code", code)
+        return code
+
+    @property
+    def var_maps(self) -> dict[str, dict[str, Any]]:
+        """function name -> {var name -> LiveVar} (O(1) lookup maps)."""
+        maps = self.__dict__.get("_var_maps")
+        if maps is None:
+            maps = {
+                name: {var.name: var for var in point.live_vars}
+                for name, point in self.entry_points.items()
+            }
+            object.__setattr__(self, "_var_maps", maps)
+        return maps
+
+    def __getstate__(self):
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._DERIVED
+        }
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
 
 def instrument_program(program: Program, selected: Iterable[str]) -> Program:
@@ -286,12 +330,398 @@ def compile_program(program: Program) -> CompiledProgram:
                 next_id += 1
                 points.append(point)
                 points_at[(fn.name, pc)] = point
-    return CompiledProgram(
+    compiled = CompiledProgram(
         program=program,
         metadata=LivenessMetadata(points),
         points_at=points_at,
         entry_points=entry_points,
     )
+    compiled.code  # build the threaded-code tables at compile time
+    return compiled
+
+
+# -- closure compilation (threaded code) --------------------------------------
+#: Prebound (Struct, pack-to-8-bytes) codecs per C type; byte-identical
+#: to CType.pack/unpack, without the per-call table lookups.
+_SLOT_STRUCTS: dict[str, struct.Struct] = {
+    ctype: struct.Struct(CType._PACK[ctype]) for ctype in CType.ALL
+}
+
+
+def _make_converter(ctype: str):
+    """The value-conversion step of ``write_var`` for one C type."""
+    if CType.is_float(ctype):
+        return lambda value: value
+    if ctype == CType.PTR:
+        return lambda value: int(value) % (1 << 64)
+    bits = 32 if ctype == CType.I32 else 64
+    half, span = 1 << (bits - 1), 1 << bits
+    return lambda value: (int(value) + half) % span - half
+
+
+def _make_accessors(function: str, live_var):
+    """(read, write, set_raw) closures for one variable.
+
+    Each closure takes ``(frame, isa)`` and memoizes the per-ISA
+    register/stack resolution on first use, so steady-state access is
+    two dict lookups — no linear scan, no isinstance on Location.
+    """
+    name = live_var.name
+    codec = _SLOT_STRUCTS[live_var.ctype]
+    convert = _make_converter(live_var.ctype)
+    per_isa: dict[str, tuple[bool, Any]] = {}
+
+    def resolve(isa: str) -> tuple[bool, Any]:
+        loc = live_var.location(isa)  # raises MetadataError for bad ISAs
+        entry = (
+            (True, loc.register)
+            if isinstance(loc, RegisterLoc)
+            else (False, loc.offset)
+        )
+        per_isa[isa] = entry
+        return entry
+
+    def read(frame, isa):
+        is_reg, key = per_isa.get(isa) or resolve(isa)
+        raw = (frame.registers if is_reg else frame.stack).get(key)
+        if raw is None:
+            raise VMError(f"{function}: read of uninitialized {name!r}")
+        return codec.unpack_from(raw)[0]
+
+    def write(frame, isa, value):
+        is_reg, key = per_isa.get(isa) or resolve(isa)
+        raw = codec.pack(convert(value)).ljust(8, b"\x00")
+        (frame.registers if is_reg else frame.stack)[key] = raw
+
+    def set_raw(frame, isa, raw):
+        is_reg, key = per_isa.get(isa) or resolve(isa)
+        (frame.registers if is_reg else frame.stack)[key] = raw
+
+    return read, write, set_raw
+
+
+class _FunctionCode:
+    """Threaded code for one function: op closures plus the frame-push
+    prologue (parameter writes + zero-initialized locals)."""
+
+    __slots__ = ("ops", "prologue")
+
+
+def _raising_op(message: str):
+    """An op that defers a compile-detected fault to execution time, so
+    malformed-but-unreached instructions keep their original behavior."""
+
+    def op(vm, act):
+        raise VMError(message)
+
+    return op
+
+
+def _resolve_label(fn: Function, label: str) -> int:
+    """Resolve "@<pc>" literals or named labels (shared with the VM)."""
+    if label.startswith("@"):
+        try:
+            target = int(label[1:])
+        except ValueError:
+            raise VMError(f"{fn.name}: bad label {label!r}") from None
+    else:
+        if label not in fn.labels:
+            raise VMError(f"{fn.name}: undefined label {label!r}")
+        target = fn.labels[label]
+    if not 0 <= target <= len(fn.body):
+        raise VMError(f"{fn.name}: label {label!r} out of range")
+    return target
+
+
+def _make_prologue(fn: Function, acc: dict, point_id: int, fn_code: _FunctionCode):
+    """Frame-push closure: arity check, param writes, zeroed locals."""
+    fname = fn.name
+    nparams = len(fn.params)
+    param_writers = tuple(acc[param][1] for param in fn.params)
+    zero_inits = tuple(
+        (
+            acc[name][2],
+            _SLOT_STRUCTS[ctype].pack(_make_converter(ctype)(0)).ljust(8, b"\x00"),
+        )
+        for name, ctype in fn.variables
+        if name not in fn.params
+    )
+
+    def prologue(vm, args, dst_name, dst_writer):
+        if len(args) != nparams:
+            raise VMError(f"{fname}: expected {nparams} args, got {len(args)}")
+        frame = Frame(function=fname, point_id=point_id)
+        isa = vm.isa
+        vm._frames.append(frame)
+        vm._activations.append(
+            _Activation(fname, 0, dst_name, dst_writer, fn_code.ops)
+        )
+        for writer, value in zip(param_writers, args):
+            writer(frame, isa, value)
+        for set_raw, raw_zero in zero_inits:
+            set_raw(frame, isa, raw_zero)
+
+    return prologue
+
+
+def _compile_instr(compiled: CompiledProgram, fn: Function, pc: int, instr, acc, code):
+    """One IR instruction -> one ``op(vm, act)`` closure.
+
+    Fault cases (undeclared variables, unknown ops, bad labels, bad
+    callees) compile to closures raising the interpreter's exact
+    errors at the same execution point they used to surface.
+    """
+    fname = fn.name
+
+    def lookup(var: str):
+        try:
+            return acc[var]
+        except KeyError:
+            return None
+
+    def undeclared(var: str):
+        return _raising_op(f"{fname}: undeclared variable {var!r}")
+
+    if isinstance(instr, Const):
+        dst = lookup(instr.dst)
+        if dst is None:
+            return undeclared(instr.dst)
+        _read, write, set_raw = dst
+        try:
+            live_var = compiled.var_maps[fname][instr.dst]
+            raw = (
+                _SLOT_STRUCTS[live_var.ctype]
+                .pack(_make_converter(live_var.ctype)(instr.value))
+                .ljust(8, b"\x00")
+            )
+        except Exception:
+            # Unencodable constant: keep converting at execution time so
+            # the original exception surfaces when (and only when) the
+            # instruction runs.
+            value = instr.value
+
+            def op(vm, act):
+                write(vm._frames[-1], vm.isa, value)
+
+            return op
+
+        def op(vm, act):
+            set_raw(vm._frames[-1], vm.isa, raw)
+
+        return op
+
+    if isinstance(instr, BinOp):
+        a_acc, b_acc, dst_acc = lookup(instr.a), lookup(instr.b), lookup(instr.dst)
+        if a_acc is None:
+            return undeclared(instr.a)
+        if b_acc is None:
+            return undeclared(instr.b)
+        read_a, read_b = a_acc[0], b_acc[0]
+        op_name = instr.op
+        if op_name not in _INT_OPS:
+            # The interpreter read both operands before rejecting the op.
+            def op(vm, act):
+                frame = vm._frames[-1]
+                read_a(frame, vm.isa)
+                read_b(frame, vm.isa)
+                raise VMError(f"unknown op {op_name!r}")
+
+            return op
+        if dst_acc is None:
+            def op(vm, act):
+                frame = vm._frames[-1]
+                read_a(frame, vm.isa)
+                read_b(frame, vm.isa)
+                raise VMError(f"{fname}: undeclared variable {instr.dst!r}")
+
+            return op
+        int_op = _INT_OPS[op_name]
+        write_dst = dst_acc[1]
+
+        def op(vm, act):
+            frame = vm._frames[-1]
+            isa = vm.isa
+            a = read_a(frame, isa)
+            b = read_b(frame, isa)
+            if isinstance(a, float) or isinstance(b, float):
+                value = _float_op(op_name, a, b)
+            else:
+                value = int_op(a, b)
+            write_dst(frame, isa, value)
+
+        return op
+
+    if isinstance(instr, Load):
+        addr_acc, dst_acc = lookup(instr.addr_var), lookup(instr.dst)
+        if addr_acc is None:
+            return undeclared(instr.addr_var)
+        read_addr = addr_acc[0]
+        offset = instr.offset
+        if dst_acc is None:
+            def op(vm, act):
+                address = read_addr(vm._frames[-1], vm.isa) + offset
+                vm._check_heap(address)
+                raise VMError(f"{fname}: undeclared variable {instr.dst!r}")
+
+            return op
+        write_dst = dst_acc[1]
+
+        def op(vm, act):
+            frame = vm._frames[-1]
+            isa = vm.isa
+            address = read_addr(frame, isa) + offset
+            if not 0 <= address < len(vm.heap):
+                raise VMError(f"heap access out of bounds: {address}")
+            write_dst(frame, isa, vm.heap[address])
+
+        return op
+
+    if isinstance(instr, Store):
+        addr_acc, src_acc = lookup(instr.addr_var), lookup(instr.src)
+        if addr_acc is None:
+            return undeclared(instr.addr_var)
+        read_addr = addr_acc[0]
+        offset = instr.offset
+        if src_acc is None:
+            def op(vm, act):
+                address = read_addr(vm._frames[-1], vm.isa) + offset
+                vm._check_heap(address)
+                raise VMError(f"{fname}: undeclared variable {instr.src!r}")
+
+            return op
+        read_src = src_acc[0]
+
+        def op(vm, act):
+            frame = vm._frames[-1]
+            isa = vm.isa
+            address = read_addr(frame, isa) + offset
+            if not 0 <= address < len(vm.heap):
+                raise VMError(f"heap access out of bounds: {address}")
+            vm.heap[address] = read_src(frame, isa)
+            vm._dirty_pages.add(address // vm.page_words)
+
+        return op
+
+    if isinstance(instr, Jump):
+        try:
+            target = _resolve_label(fn, instr.label)
+        except VMError as exc:
+            return _raising_op(str(exc))
+
+        def op(vm, act):
+            act.pc = target
+
+        return op
+
+    if isinstance(instr, Branch):
+        cond_acc = lookup(instr.cond_var)
+        if cond_acc is None:
+            return undeclared(instr.cond_var)
+        read_cond = cond_acc[0]
+        try:
+            target = _resolve_label(fn, instr.label)
+        except VMError as exc:
+            message = str(exc)
+            # The interpreter resolved the label only on a taken branch.
+            def op(vm, act):
+                if read_cond(vm._frames[-1], vm.isa):
+                    raise VMError(message)
+
+            return op
+
+        def op(vm, act):
+            if read_cond(vm._frames[-1], vm.isa):
+                act.pc = target
+
+        return op
+
+    if isinstance(instr, Call):
+        readers = []
+        for arg in instr.args:
+            arg_acc = lookup(arg)
+            if arg_acc is None:
+                return undeclared(arg)
+            readers.append(arg_acc[0])
+        readers = tuple(readers)
+        callee_code = code.get(instr.function)
+        if callee_code is None:
+            return _raising_op(f"undefined function {instr.function!r}")
+        dst = instr.dst
+        dst_acc = lookup(dst)
+        if dst_acc is not None:
+            dst_writer = dst_acc[1]
+        else:
+            # Surfaces when the callee returns, as before.
+            def dst_writer(frame, isa, value):
+                raise VMError(f"{fname}: undeclared variable {dst!r}")
+
+        def op(vm, act):
+            frame = vm._frames[-1]
+            isa = vm.isa
+            values = [read(frame, isa) for read in readers]
+            callee_code.prologue(vm, values, dst, dst_writer)
+
+        return op
+
+    if isinstance(instr, Ret):
+        read_ret = None
+        if instr.var:
+            ret_acc = lookup(instr.var)
+            if ret_acc is None:
+                return undeclared(instr.var)
+            read_ret = ret_acc[0]
+
+        def op(vm, act):
+            value = (
+                read_ret(vm._frames[-1], vm.isa) if read_ret is not None else None
+            )
+            vm._frames.pop()
+            finished = vm._activations.pop()
+            if vm._activations:
+                writer = finished.dst_writer
+                if writer is not None:
+                    writer(vm._frames[-1], vm.isa, value)
+            else:
+                vm._result = value
+
+        return op
+
+    if isinstance(instr, MigrationPointInstr):
+        point = compiled.points_at.get((fname, pc))
+        tag = instr.tag
+
+        def op(vm, act):
+            hook = vm.migration_hook
+            if hook is not None and point is not None:
+                hook(vm, fname, tag, point)
+
+        return op
+
+    return _raising_op(f"unknown instruction {instr!r}")  # pragma: no cover
+
+
+def _compile_closures(compiled: CompiledProgram) -> dict[str, _FunctionCode]:
+    """Build the threaded-code tables for every function.
+
+    Two passes: accessors and prologues first (so Call closures can
+    bind their callee's prologue directly), then instruction bodies.
+    """
+    program = compiled.program
+    accessors: dict[str, dict] = {}
+    code: dict[str, _FunctionCode] = {}
+    for name, fn in program.functions.items():
+        point = compiled.entry_points[name]
+        acc = {var.name: _make_accessors(name, var) for var in point.live_vars}
+        accessors[name] = acc
+        fn_code = _FunctionCode()
+        fn_code.prologue = _make_prologue(fn, acc, point.point_id, fn_code)
+        code[name] = fn_code
+    for name, fn in program.functions.items():
+        code[name].ops = tuple(
+            _compile_instr(compiled, fn, pc, instr, accessors[name], code)
+            for pc, instr in enumerate(fn.body)
+        )
+    return code
 
 
 # -- the VM ------------------------------------------------------------------
@@ -321,6 +751,10 @@ class _Activation:
     function: str
     pc: int
     dst_in_caller: Optional[str]  # where Call writes the return value
+    #: Bound writer for ``dst_in_caller`` (compiled by the Call site).
+    dst_writer: Optional[Callable] = None
+    #: This function's threaded-code table (set by the prologue).
+    ops: tuple = ()
 
 
 class MigratableVM:
@@ -358,17 +792,17 @@ class MigratableVM:
         self.pages_migrated = 0
         self._frames: list[Frame] = []
         self._activations: list[_Activation] = []
+        self._result: Any = None
         self._types: dict[str, dict[str, str]] = {
             fn.name: dict(fn.variables) for fn in self.program.functions.values()
         }
 
     # -- variable access through the ISA layout ------------------------------
     def _locate(self, function: str, var: str):
-        point = self.compiled.entry_points[function]
-        for live_var in point.live_vars:
-            if live_var.name == var:
-                return live_var
-        raise VMError(f"{function}: undeclared variable {var!r}")
+        try:
+            return self.compiled.var_maps[function][var]
+        except KeyError:
+            raise VMError(f"{function}: undeclared variable {var!r}") from None
 
     def read_var(self, var: str) -> Any:
         frame = self._frames[-1]
@@ -404,23 +838,16 @@ class MigratableVM:
 
     # -- frames -----------------------------------------------------------
     def _push_frame(self, function: str, args: Iterable[Any], dst: Optional[str]):
-        fn = self.program.function(function)
-        args = list(args)
-        if len(args) != len(fn.params):
-            raise VMError(
-                f"{function}: expected {len(fn.params)} args, got {len(args)}"
-            )
-        point = self.compiled.entry_points[function]
-        frame = Frame(function=function, point_id=point.point_id)
-        self._frames.append(frame)
-        self._activations.append(_Activation(function, 0, dst))
-        for param, value in zip(fn.params, args):
-            self.write_var(param, value)
-        # Initialize non-param locals to zero so migration metadata can
-        # always encode every live slot.
-        for name, _ctype in fn.variables:
-            if name not in fn.params:
-                self.write_var(name, 0)
+        try:
+            fn_code = self.compiled.code[function]
+        except KeyError:
+            raise VMError(f"undefined function {function!r}") from None
+        dst_writer = None
+        if dst is not None:
+            def dst_writer(_frame, _isa, value):
+                self.write_var(dst, value)
+
+        fn_code.prologue(self, list(args), dst, dst_writer)
 
     # -- migration --------------------------------------------------------
     @property
@@ -446,69 +873,33 @@ class MigratableVM:
 
     # -- execution --------------------------------------------------------
     def run(self, *args: Any) -> Any:
-        """Execute the entry function with ``args``; returns its result."""
+        """Execute the entry function with ``args``; returns its result.
+
+        Threaded-code dispatch: each iteration calls the closure the
+        compiler bound for the current instruction — no isinstance
+        chain, no per-access location scan.
+        """
         if self._frames:
             raise VMError("VM already ran; create a fresh instance")
+        self._result = None
         self._push_frame(self.program.entry, args, dst=None)
-        result: Any = None
-        while self._activations:
-            act = self._activations[-1]
-            fn = self.program.function(act.function)
-            if act.pc >= len(fn.body):
-                raise VMError(f"{fn.name}: fell off the end (missing Ret)")
-            self.steps_executed += 1
-            if self.steps_executed > self.max_steps:
-                raise VMError(f"step budget exceeded ({self.max_steps})")
-            instr = fn.body[act.pc]
-            act.pc += 1
-
-            if isinstance(instr, Const):
-                self.write_var(instr.dst, instr.value)
-            elif isinstance(instr, BinOp):
-                a = self.read_var(instr.a)
-                b = self.read_var(instr.b)
-                if instr.op not in _INT_OPS:
-                    raise VMError(f"unknown op {instr.op!r}")
-                if isinstance(a, float) or isinstance(b, float):
-                    value = _float_op(instr.op, a, b)
-                else:
-                    value = _INT_OPS[instr.op](a, b)
-                self.write_var(instr.dst, value)
-            elif isinstance(instr, Load):
-                address = self.read_var(instr.addr_var) + instr.offset
-                self._check_heap(address)
-                self.write_var(instr.dst, self.heap[address])
-            elif isinstance(instr, Store):
-                address = self.read_var(instr.addr_var) + instr.offset
-                self._check_heap(address)
-                self.heap[address] = self.read_var(instr.src)
-                self._dirty_pages.add(address // self.page_words)
-            elif isinstance(instr, Jump):
-                act.pc = self._label(fn, instr.label)
-            elif isinstance(instr, Branch):
-                if self.read_var(instr.cond_var):
-                    act.pc = self._label(fn, instr.label)
-            elif isinstance(instr, Call):
-                values = [self.read_var(a) for a in instr.args]
-                self._push_frame(instr.function, values, dst=instr.dst)
-            elif isinstance(instr, Ret):
-                value = self.read_var(instr.var) if instr.var else None
-                self._frames.pop()
-                finished = self._activations.pop()
-                if self._activations:
-                    if finished.dst_in_caller is not None:
-                        self.write_var(finished.dst_in_caller, value)
-                else:
-                    result = value
-            elif isinstance(instr, MigrationPointInstr):
-                point = self.compiled.points_at.get((fn.name, act.pc - 1))
-                # Sync frame point_id so a transform here uses this
-                # point's (identical) layout.
-                if self.migration_hook is not None and point is not None:
-                    self.migration_hook(self, fn.name, instr.tag, point)
-            else:  # pragma: no cover - closed IR
-                raise VMError(f"unknown instruction {instr!r}")
-        return result
+        activations = self._activations
+        max_steps = self.max_steps
+        steps = self.steps_executed
+        while activations:
+            act = activations[-1]
+            ops = act.ops
+            pc = act.pc
+            if pc >= len(ops):
+                raise VMError(f"{act.function}: fell off the end (missing Ret)")
+            steps += 1
+            if steps > max_steps:
+                self.steps_executed = steps
+                raise VMError(f"step budget exceeded ({max_steps})")
+            self.steps_executed = steps
+            act.pc = pc + 1
+            ops[pc](self, act)
+        return self._result
 
     def _check_heap(self, address: int) -> None:
         if not 0 <= address < len(self.heap):
@@ -518,18 +909,7 @@ class MigratableVM:
     def _label(fn: Function, label: str) -> int:
         # Labels are "@<pc>" literals (resolved positions) or named
         # entries in fn.labels.
-        if label.startswith("@"):
-            try:
-                target = int(label[1:])
-            except ValueError:
-                raise VMError(f"{fn.name}: bad label {label!r}") from None
-        else:
-            if label not in fn.labels:
-                raise VMError(f"{fn.name}: undefined label {label!r}")
-            target = fn.labels[label]
-        if not 0 <= target <= len(fn.body):
-            raise VMError(f"{fn.name}: label {label!r} out of range")
-        return target
+        return _resolve_label(fn, label)
 
 
 def _float_op(op: str, a: float, b: float) -> float:

@@ -24,6 +24,7 @@ from repro.experiments.sweep import (
     cells_for_sets,
     cells_for_throughput,
     derive_seeds,
+    parallel_threshold,
     platform_config_hash,
     resolve_jobs,
     results_checksum,
@@ -86,6 +87,13 @@ class TestRunApplicationSet:
 
 
 class TestSerialParallelEquivalence:
+    @pytest.fixture(autouse=True)
+    def _force_pool(self, monkeypatch):
+        # These tests exist to exercise the process-pool path; disable
+        # the small-grid serial fallback so the mini grids still go
+        # through the pool.
+        monkeypatch.setenv("REPRO_SWEEP_MIN_CELLS", "0")
+
     def test_jobs2_byte_identical_results(self):
         cells = _mini_cells()
         serial = run_cells(cells, jobs=1)
@@ -113,7 +121,52 @@ class TestSerialParallelEquivalence:
         assert outcome.stats.cells_total == len(cells)
         assert outcome.stats.executed == len(cells)
         assert outcome.stats.jobs == 2
+        assert outcome.stats.workers == 2
+        assert outcome.stats.mode == "parallel"
         assert 0.0 < outcome.stats.worker_utilization <= 1.0
+
+
+class TestSerialFallback:
+    """A multi-job sweep on a small grid must not pay for the pool.
+
+    The committed bench once recorded parallel_speedup 0.66 — i.e. a
+    slowdown — because worker startup dominated a 27-cell grid of
+    tens-of-milliseconds cells. Below the cell threshold the executor
+    now runs serially and says so in its stats.
+    """
+
+    def test_small_grid_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MIN_CELLS", raising=False)
+        outcome = run_cells(_mini_cells(), jobs=2)
+        assert outcome.stats.mode == "serial"
+        assert outcome.stats.jobs == 2  # requested, not used
+        assert outcome.stats.workers == 1
+        assert outcome.stats.executed == outcome.stats.cells_total
+
+    def test_fallback_is_byte_identical_to_pool(self, monkeypatch):
+        cells = _mini_cells()
+        monkeypatch.delenv("REPRO_SWEEP_MIN_CELLS", raising=False)
+        fallback = run_cells(cells, jobs=2)
+        monkeypatch.setenv("REPRO_SWEEP_MIN_CELLS", "0")
+        pooled = run_cells(cells, jobs=2)
+        assert fallback.stats.mode == "serial"
+        assert pooled.stats.mode == "parallel"
+        assert results_checksum(fallback.results) == results_checksum(pooled.results)
+
+    def test_env_override_controls_threshold(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MIN_CELLS", raising=False)
+        assert parallel_threshold(4) == 64
+        monkeypatch.setenv("REPRO_SWEEP_MIN_CELLS", "3")
+        assert parallel_threshold(4) == 3
+        outcome = run_cells(_mini_cells(), jobs=2)  # 4 cells >= 3
+        assert outcome.stats.mode == "parallel"
+
+    def test_mode_lands_in_sweep_metrics(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_MIN_CELLS", raising=False)
+        registry = MetricsRegistry()
+        run_cells(_mini_cells(repeats=1), jobs=2, metrics=registry)
+        counts = registry.get("sweep_runs_total").as_dict()
+        assert counts == {("serial",): 1}
 
 
 class TestCache:

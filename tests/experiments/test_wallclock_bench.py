@@ -8,10 +8,23 @@ from repro.experiments.wallclock import (
     BenchReport,
     ScenarioResult,
     available_scenarios,
+    guard_events_per_sec,
     load_report,
+    load_report_entries,
     run_bench,
     run_scenario,
 )
+
+
+def _result(name, wall_s=0.5, events=100):
+    return ScenarioResult(
+        name=name,
+        wall_s=wall_s,
+        events=events,
+        sim_seconds=1.0,
+        peak_rss_bytes=0,
+        checksum="ab",
+    )
 
 
 class TestReplayDeterminism:
@@ -79,3 +92,91 @@ class TestReportPlumbing:
         assert result.wall_s > 0
         assert result.events_per_sec > 0
         assert len(result.checksum) == 16
+
+    def test_scenario_missing_from_baseline_is_reported_new(self, tmp_path):
+        # A scenario added after the baseline was committed must show
+        # up as "new", not silently vanish from the comparison.
+        baseline = {
+            "schema": "xar-trek-bench/1",
+            "scenarios": [{"name": "figX", "wall_s": 2.0}],
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        report = BenchReport(seed=0, quick=True)
+        report.baseline_wall_s = load_report(str(path))
+        report.results.append(_result("figX"))
+        report.results.append(_result("brand_new"))
+        assert report.new_scenarios() == ["brand_new"]
+        payload = report.to_dict()
+        assert payload["new_vs_baseline"] == ["brand_new"]
+        assert "brand_new" not in payload["speedup_vs_baseline"]
+        assert "brand_new: new scenario (not in baseline)" in report.to_text()
+
+    def test_no_new_scenarios_key_without_baseline(self):
+        report = BenchReport(seed=0, quick=True)
+        report.results.append(_result("figX"))
+        assert report.new_scenarios() == []
+        assert "new_vs_baseline" not in report.to_dict()
+
+
+class TestEventsPerSecGuard:
+    def _baseline(self, tmp_path, entries):
+        path = tmp_path / "committed.json"
+        path.write_text(
+            json.dumps({"schema": "xar-trek-bench/1", "scenarios": entries})
+        )
+        return str(path)
+
+    def test_drop_beyond_threshold_fails(self, tmp_path):
+        path = self._baseline(
+            tmp_path,
+            [{"name": "figX", "wall_s": 1.0, "events_per_sec": 1000.0}],
+        )
+        report = BenchReport(seed=0, quick=True)
+        # 100 events in 0.5 s = 200 events/sec, an 80% drop.
+        report.results.append(_result("figX", wall_s=0.5, events=100))
+        failures = guard_events_per_sec(report, path, max_drop=0.30)
+        assert len(failures) == 1
+        assert "figX" in failures[0]
+        # The same rate passes with a permissive-enough threshold.
+        assert guard_events_per_sec(report, path, max_drop=0.90) == []
+
+    def test_within_threshold_passes(self, tmp_path):
+        path = self._baseline(
+            tmp_path,
+            [{"name": "figX", "wall_s": 1.0, "events_per_sec": 1000.0}],
+        )
+        report = BenchReport(seed=0, quick=True)
+        report.results.append(_result("figX", wall_s=0.125, events=100))  # 800/s
+        assert guard_events_per_sec(report, path, max_drop=0.30) == []
+
+    def test_unknown_scenario_is_skipped(self, tmp_path):
+        path = self._baseline(
+            tmp_path, [{"name": "other", "wall_s": 1.0, "events_per_sec": 1000.0}]
+        )
+        report = BenchReport(seed=0, quick=True)
+        report.results.append(_result("figX", wall_s=1.0, events=1))
+        assert guard_events_per_sec(report, path, max_drop=0.30) == []
+
+    def test_entries_loader_validates_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/1", "scenarios": []}')
+        with pytest.raises(ValueError, match="schema 'other/1'"):
+            load_report_entries(str(bad))
+
+
+class TestScaleStress:
+    def test_quick_run_is_deterministic_and_migration_heavy(self):
+        # The 100x-scale scenario: replaying the same seed must give
+        # the same checksum and counters, and the workload must really
+        # exercise the batched-DSM/migration hot paths it guards.
+        first = run_scenario("scale_stress", seed=0, quick=True)
+        second = run_scenario("scale_stress", seed=0, quick=True)
+        assert first.checksum == second.checksum
+        assert first.events == second.events
+        assert first.sim_seconds == second.sim_seconds
+        assert first.extra["clients"] == 250
+        assert first.extra["migrations"] > 0
+        assert first.extra["dsm_page_transfers"] > 0
+        assert first.extra["x86_max_load"] >= first.extra["background"]
+        assert first.extra["x86_mean_load"] > 0
