@@ -138,6 +138,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(default: 0.30)")
     _add_sweep_flags(bench)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the scale_stress workload under a fault plan and "
+        "verify graceful degradation",
+    )
+    chaos.add_argument("--plan", default=None, metavar="FILE",
+                       help="fault plan JSON (default: generate from --seed)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="reduced fleet for CI smoke runs")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the chaos report as JSON")
+    chaos.add_argument("--emit-plan", default=None, metavar="FILE",
+                       help="write the (possibly generated) plan here and exit")
+
     metrics = sub.add_parser(
         "metrics",
         help="run an instrumented application set and report p50/p95/p99",
@@ -316,6 +331,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import FaultPlan, default_plan, run_chaos
+
+    if args.plan:
+        plan = FaultPlan.from_file(args.plan)
+    else:
+        plan = default_plan(args.seed)
+    if args.emit_plan:
+        plan.to_file(args.emit_plan)
+        print(f"plan        : {args.emit_plan} ({len(plan)} faults)")
+        return 0
+    report = run_chaos(plan=plan, seed=args.seed, quick=args.quick)
+    print(report.to_text())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json        : {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.wallclock import (
         available_scenarios,
@@ -378,6 +416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -27,10 +27,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.compiler.pipeline import CompiledApplication
+from repro.core.server import SchedulerUnavailable
 from repro.popcorn.migration_points import CType
 from repro.popcorn.runtime import PopcornRuntime, PopcornThread
 from repro.popcorn.state import MachineState, StateTransformer
-from repro.sim import Event
+from repro.sim import Event, SimulationError
 from repro.types import Target
 from repro.workloads import create_workload
 from repro.xrt import XRTError
@@ -64,6 +65,7 @@ class RunRecord:
     targets: list[Target] = field(default_factory=list)
     migrations: int = 0
     fpga_fallbacks: int = 0
+    retries: int = 0
     verified: Optional[bool] = None
 
     @property
@@ -228,14 +230,49 @@ class ApplicationRun:
             self._observe_call(self.record.targets[-1], call_started)
             self.record.calls_completed += 1
 
+    def _resilience(self):
+        return getattr(self.runtime, "resilience", None)
+
+    def _count_fallback(self, reason: str) -> None:
+        resilience = self._resilience()
+        if resilience is not None:
+            resilience.count_fallback(reason)
+
     def _choose_target(self):
         if self.mode is SystemMode.VANILLA_X86:
             return Target.X86
         if self.mode is SystemMode.ALWAYS_FPGA:
             return Target.FPGA if self.profile.fpga_capable else Target.X86
         assert self.mode is SystemMode.XAR_TREK
-        target = yield self.runtime.server.request(self.app.name)
-        return target
+        sim = self.runtime.platform.sim
+        resilience = self._resilience()
+        timeout_s = (
+            resilience.config.request_timeout_s if resilience is not None else None
+        )
+        try:
+            reply = self.runtime.server.request(self.app.name)
+        except SchedulerUnavailable:
+            # Daemon down before we could even enqueue: decide locally.
+            self._count_fallback("scheduler_down")
+            return Target.X86
+        if timeout_s is None:
+            target = yield reply
+            return target
+        # We may abandon the reply on timeout; a late failure (server
+        # stop during an outage window) must then not crash the run.
+        reply.defused = True
+        try:
+            yield sim.any_of([reply, sim.timeout(timeout_s)])
+        except SchedulerUnavailable:
+            # The daemon went down with our request queued.
+            self._count_fallback("scheduler_down")
+            return Target.X86
+        if reply.triggered and reply.ok:
+            return reply.value
+        # No reply within the budget (daemon hung or slow): serve the
+        # call locally on x86 — correct, just not accelerated.
+        self._count_fallback("scheduler_timeout")
+        return Target.X86
 
     # -- function execution per target -----------------------------------------
     def _execute_function(self, target: Target):
@@ -249,14 +286,37 @@ class ApplicationRun:
             )
             self.record.targets.append(Target.X86)
 
+    def _fallback_to_x86(self, reason: str):
+        """Serve the call on the x86 host instead of the FPGA.
+
+        The result is identical (migration transparency); only the
+        latency differs. ``reason`` labels ``fallbacks_total``.
+        """
+        self.record.fpga_fallbacks += 1
+        self._count_fallback(reason)
+        yield self.runtime.platform.x86.cpu.execute(
+            self.profile.func_x86_s, tag=self.app.name
+        )
+        self.record.targets.append(Target.X86)
+
     def _execute_fpga(self):
         xrt = self.runtime.xrt
         kernel = self.profile.kernel_name
+        resilience = self._resilience()
+        if resilience is not None and not resilience.allow_kernel(kernel):
+            # Quarantined (mostly reachable in ALWAYS_FPGA mode — under
+            # Xar-Trek the scheduler already steered away).
+            yield from self._fallback_to_x86("quarantined")
+            return
         if not xrt.has_kernel(kernel):
             if self.mode is SystemMode.ALWAYS_FPGA and not xrt.reconfiguring:
                 # Traditional flow: configure synchronously at first use.
                 image = self.runtime.image_for(kernel)
-                yield xrt.load_xclbin(image)
+                try:
+                    yield xrt.load_xclbin(image)
+                except (XRTError, SimulationError):
+                    yield from self._fallback_to_x86("configure_failed")
+                    return
             elif xrt.reconfiguring:
                 # Wait out an in-flight reconfiguration and retry —
                 # woken by the settle event, not a poll timer (the old
@@ -266,26 +326,42 @@ class ApplicationRun:
                     yield xrt.wait_reconfigured()
             if not xrt.has_kernel(kernel):
                 # Kernel still absent (scheduler race): run on x86.
-                self.record.fpga_fallbacks += 1
-                yield self.runtime.platform.x86.cpu.execute(
-                    self.profile.func_x86_s, tag=self.app.name
-                )
-                self.record.targets.append(Target.X86)
+                yield from self._fallback_to_x86("kernel_absent")
                 return
-        try:
-            yield xrt.run_kernel(
-                kernel,
-                bytes_in=self.profile.bytes_to_fpga,
-                bytes_out=self.profile.bytes_from_fpga,
-                duration=self.profile.fpga_kernel_s,
-            )
-        except XRTError:
-            self.record.fpga_fallbacks += 1
-            yield self.runtime.platform.x86.cpu.execute(
-                self.profile.func_x86_s, tag=self.app.name
-            )
-            self.record.targets.append(Target.X86)
-            return
+        attempt = 0
+        while True:
+            try:
+                yield xrt.run_kernel(
+                    kernel,
+                    bytes_in=self.profile.bytes_to_fpga,
+                    bytes_out=self.profile.bytes_from_fpga,
+                    duration=self.profile.fpga_kernel_s,
+                )
+            except XRTError:
+                if resilience is not None:
+                    resilience.record_kernel_failure(kernel)
+                    config = resilience.config
+                    if (
+                        attempt < config.kernel_retry_limit
+                        and xrt.has_kernel(kernel)
+                        and resilience.allow_kernel(kernel)
+                    ):
+                        self.record.retries += 1
+                        resilience.count_retry(kernel)
+                        yield self.runtime.platform.sim.timeout(
+                            config.backoff_s(attempt)
+                        )
+                        attempt += 1
+                        # The device may have crashed or been
+                        # quarantined during the backoff.
+                        if xrt.has_kernel(kernel) and resilience.allow_kernel(kernel):
+                            continue
+                yield from self._fallback_to_x86("kernel_fault")
+                return
+            else:
+                if resilience is not None:
+                    resilience.record_kernel_success(kernel)
+                break
         self.record.targets.append(Target.FPGA)
 
     def _execute_arm_migrated(self):

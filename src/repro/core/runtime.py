@@ -20,6 +20,7 @@ from repro.compiler.profiling import ApplicationSpec, ProfilingSpec, SelectedFun
 from repro.core.application import ApplicationRun, RunRecord, SystemMode
 from repro.core.client import ThresholdUpdater
 from repro.core.server import SchedulerServer
+from repro.faults.resilience import ResilienceConfig, ResiliencePolicy
 from repro.hardware.platform import HeterogeneousPlatform, paper_testbed
 from repro.popcorn.dsm import DSM
 from repro.popcorn.runtime import PopcornRuntime
@@ -141,16 +142,25 @@ class XarTrekRuntime:
         early_configure: bool = True,
         dynamic_thresholds: bool = True,
         policy=None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         """``early_configure`` and ``dynamic_thresholds`` exist for the
         ablation benchmarks: they disable the instrumented main()'s
         startup FPGA-configuration call and Algorithm 1's run-time
         threshold refinement, respectively. ``policy`` swaps the
-        scheduling policy (see :mod:`repro.core.policies`)."""
+        scheduling policy (see :mod:`repro.core.policies`).
+        ``resilience`` overrides the retry/breaker/timeout knobs
+        (default: :class:`~repro.faults.resilience.ResilienceConfig`,
+        which is a no-op until a fault actually fires)."""
         self.result = result
         self.early_configure = early_configure
         self.platform = platform or paper_testbed()
         self.metrics = self.platform.metrics
+        self.resilience = ResiliencePolicy(
+            clock=lambda: self.platform.sim.now,
+            metrics=self.metrics,
+            config=resilience,
+        )
         self.xrt = XRTDevice(
             self.platform.sim,
             self.platform.fpga,
@@ -185,6 +195,7 @@ class XarTrekRuntime:
             },
             tracer=self.platform.tracer,
             policy=policy,
+            resilience=self.resilience,
         )
         self.server.start()
         self.records: list[RunRecord] = []

@@ -25,12 +25,23 @@ from repro.thresholds import ThresholdTable
 from repro.types import Target
 from repro.xrt import XRTDevice
 
-__all__ = ["SchedulerServer", "ServerStats"]
+__all__ = ["SchedulerServer", "SchedulerUnavailable", "ServerStats"]
 
 #: One-way userspace socket latency on the host (localhost TCP).
 DEFAULT_SOCKET_LATENCY_S = 50e-6
 
 _TARGET_BY_NAME = {str(target): target for target in Target}
+
+#: Queue sentinel that tells a serve loop to exit (see :meth:`stop`).
+_STOP = object()
+
+
+class SchedulerUnavailable(RuntimeError):
+    """The scheduler daemon is not running (never started, stopped, or
+    crashed mid-request). Clients catch this and fall back to a local
+    x86 decision rather than blocking forever on a reply that will
+    never come. Subclasses :class:`RuntimeError` so pre-existing
+    callers that caught the old generic error keep working."""
 
 
 class ServerStats:
@@ -140,12 +151,16 @@ class SchedulerServer:
         socket_latency_s: float = DEFAULT_SOCKET_LATENCY_S,
         tracer: Optional[Tracer] = None,
         policy=None,
+        resilience=None,
     ):
         """``kernel_images`` maps hardware-kernel name -> XCLBIN image.
 
         ``policy`` swaps the decision function (default: the paper's
         Algorithm 2, :func:`repro.core.policy.decide`); see
-        :mod:`repro.core.policies` for alternatives.
+        :mod:`repro.core.policies` for alternatives. ``resilience`` (a
+        :class:`~repro.faults.resilience.ResiliencePolicy`) steers
+        decisions away from quarantined targets and bounds background
+        reconfiguration retries.
         """
         self.platform = platform
         self.xrt = xrt
@@ -155,6 +170,7 @@ class SchedulerServer:
         self.socket_latency_s = socket_latency_s
         self.tracer = tracer or platform.tracer
         self.metrics = platform.metrics
+        self.resilience = resilience
         self.stats = ServerStats(self.metrics)
         self._roundtrip = self.metrics.histogram(
             "scheduler_roundtrip_seconds",
@@ -162,22 +178,70 @@ class SchedulerServer:
         )
         self._requests: Store = Store(platform.sim)
         self._running = False
+        #: Bumped on every start/stop so a stale serve loop can tell it
+        #: has been superseded and exit instead of stealing requests.
+        self._generation = 0
+        #: Reply-latency multiplier (1.0 healthy; the fault injector
+        #: raises it during server_slow windows).
+        self._reply_delay_factor = 1.0
+        #: Consecutive failed background reconfiguration attempts per
+        #: kernel, bounding the retry chain (reset on success).
+        self._reconfig_retries: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
     def start(self) -> None:
         """Algorithm 2 lines 1-3: init kernel info, socket, load timer."""
         if self._running:
             return
         self._running = True
-        self.platform.sim.spawn(self._serve())
+        self._generation += 1
+        self.platform.sim.spawn(self._serve(self._generation))
 
-    def _serve(self):
+    def stop(self) -> None:
+        """Take the daemon down (crash/outage model).
+
+        Queued-but-unserved requests fail immediately with
+        :class:`SchedulerUnavailable` (their clients fall back
+        locally); requests already being handled still get their reply.
+        New :meth:`request` calls raise until :meth:`start` runs again.
+        """
+        if not self._running:
+            return
+        self._running = False
+        self._generation += 1
+        pending = [item for item in self._requests.items if item is not _STOP]
+        self._requests.items.clear()
+        for _app_name, reply in pending:
+            self._fail_reply(reply)
+        # Wake the serve loop blocked on get() so it exits promptly.
+        self._requests.put(_STOP)
+        self.tracer.record("scheduler", "server stopped")
+
+    def _fail_reply(self, reply: Event) -> None:
+        reply.defused = True  # the client may have already abandoned it
+        if not reply.triggered:
+            reply.fail(SchedulerUnavailable("scheduler server stopped"))
+
+    def _serve(self, generation: int):
         # Algorithm 2's main loop (lines 4-33): accept, then hand each
         # request to its own handler. The daemon must never block the
         # accept loop on one client's round-trip — with the old serial
         # loop, M simultaneous clients saw M x the socket latency.
         while True:
-            app_name, reply = yield self._requests.get()
+            item = yield self._requests.get()
+            if generation != self._generation:
+                # Superseded (stop/start cycled): hand the item to the
+                # live loop instead of swallowing it.
+                if item is not _STOP:
+                    self._requests.put(item)
+                return
+            if item is _STOP:
+                return
+            app_name, reply = item
             self._handle(app_name, reply)
 
     def _handle(self, app_name: str, reply: Event) -> None:
@@ -188,27 +252,56 @@ class SchedulerServer:
         queuing behind each other.
         """
         sim = self.platform.sim
-        latency = self.socket_latency_s
+        latency = self.socket_latency_s * self._reply_delay_factor
+
+        def send_reply(decision: Decision) -> None:
+            if not reply.triggered:
+                reply.succeed(decision.target)
 
         def decide_and_reply() -> None:
+            if not self._running:
+                self._fail_reply(reply)
+                return
             decision = self._decide(app_name)
-            sim.call_in(latency, lambda: reply.succeed(decision.target))
+            sim.call_in(
+                self.socket_latency_s * self._reply_delay_factor,
+                lambda: send_reply(decision),
+            )
 
         sim.call_in(latency, decide_and_reply)
 
     # -- client API ------------------------------------------------------------
     def request(self, app_name: str) -> Event:
-        """Client-side call: fires with the chosen :class:`Target`."""
+        """Client-side call: fires with the chosen :class:`Target`.
+
+        Raises :class:`SchedulerUnavailable` when the daemon is not
+        running (never started, or stopped), so callers fail fast
+        instead of blocking forever on a reply that can never arrive.
+        """
         if not self._running:
-            raise RuntimeError("scheduler server not started")
+            raise SchedulerUnavailable(
+                "scheduler server not started (or stopped); clients "
+                "should fall back to a local x86 decision"
+            )
         sim = self.platform.sim
         reply = sim.event()
         enqueued_at = sim.now
-        reply.callbacks.append(
-            lambda _ev: self._roundtrip.observe(sim.now - enqueued_at)
-        )
+
+        def observe(ev: Event) -> None:
+            if ev.ok:
+                self._roundtrip.observe(sim.now - enqueued_at)
+
+        reply.callbacks.append(observe)
         self._requests.put((app_name, reply))
         return reply
+
+    def set_reply_delay_factor(self, factor: float) -> None:
+        """Multiply the socket latency by ``factor`` (1.0 restores
+        normal speed). The fault injector uses this for server_slow
+        windows; in-flight requests pick up the factor per hop."""
+        if factor <= 0:
+            raise ValueError(f"reply delay factor must be positive, got {factor!r}")
+        self._reply_delay_factor = float(factor)
 
     def preconfigure(self, app_name: str) -> None:
         """The instrumented main()'s early FPGA-configuration call.
@@ -229,6 +322,11 @@ class SchedulerServer:
         # x86 CPU load even though it holds no compute job right now.
         load = self.platform.x86_load + 1
         available = bool(entry.kernel_name) and self.xrt.has_kernel(entry.kernel_name)
+        if available and self.resilience is not None:
+            # A quarantined kernel is treated as absent: Algorithm 2
+            # steers the call to a CPU target until the breaker's
+            # cooldown admits a half-open trial.
+            available = self.resilience.allow_kernel(entry.kernel_name)
         decision = self.policy(load, entry, available)
         self.stats._count_decision(decision)
         if self.tracer.enabled:
@@ -256,6 +354,11 @@ class SchedulerServer:
         image = self.kernel_images.get(kernel_name)
         if image is None:
             return
+        if self.resilience is not None and not self.resilience.allow_device():
+            # The card itself is quarantined (crashed / repeatedly
+            # failed to program): don't burn a reconfiguration slot.
+            self.stats._reconf_skipped.inc()
+            return
         if self.xrt.reconfiguring or self.xrt.active_runs:
             self.stats._reconf_skipped.inc()
             return
@@ -278,5 +381,31 @@ class SchedulerServer:
                     "on the next request",
                     image=image.name,
                 )
+                if self.resilience is not None:
+                    self.resilience.record_device_failure()
+                    self._schedule_reconfig_retry(kernel_name)
+            else:
+                self._reconfig_retries.pop(kernel_name, None)
+                if self.resilience is not None:
+                    self.resilience.record_device_success()
 
         done.callbacks.append(on_outcome)
+
+    def _schedule_reconfig_retry(self, kernel_name: str) -> None:
+        """Bounded background retry after a programming failure.
+
+        The old image stayed resident (the device rolls back), so the
+        retry is free to wait out the backoff; after
+        ``reconfig_retry_limit`` consecutive failures the server stops
+        retrying in the background and the next client request (or a
+        half-open breaker trial) re-attempts instead.
+        """
+        config = self.resilience.config
+        attempts = self._reconfig_retries.get(kernel_name, 0)
+        if attempts >= config.reconfig_retry_limit:
+            return
+        self._reconfig_retries[kernel_name] = attempts + 1
+        self.platform.sim.call_in(
+            config.reconfig_retry_backoff_s,
+            lambda: self._maybe_reconfigure(kernel_name),
+        )

@@ -315,6 +315,39 @@ def _scenario_scale_stress(seed: int, quick: bool, ctx: BenchContext):
     return sim.events_processed, sim.now, lines, extra
 
 
+def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
+    """Robustness shape: the scale_stress fleet under a seeded fault plan.
+
+    Every fault kind fires at least once (kernel-run faults, reconfig
+    failures, a device crash window, link degradation, a scheduler
+    outage, a slow-reply window) while hundreds of staggered clients
+    run. The harness runs the identical workload fault-free first and
+    diffs outcomes client by client; the acceptance bar is 100%
+    completion with zero result mismatches — fallbacks to x86 are the
+    *mechanism*, not a failure. The headline rate is the chaos leg's
+    events/sec (resilience machinery must stay off the hot path).
+    """
+    from repro.faults import default_plan, run_chaos
+
+    report = run_chaos(plan=default_plan(seed), seed=seed, quick=quick)
+    if not report.ok:
+        raise AssertionError(
+            "chaos_stress broke the graceful-degradation contract:\n"
+            + report.to_text()
+        )
+    extra = {
+        "clients": report.clients,
+        "plan_faults": sum(report.plan_faults.values()),
+        "faults_injected": report.faults_injected,
+        "retries": report.retries,
+        "fallbacks": sum(report.fallbacks.values()),
+        "quarantines": report.quarantines,
+        "goodput": round(report.goodput, 4),
+        "completion_rate": report.completion_rate,
+    }
+    return report.events, report.sim_seconds, report.lines, extra
+
+
 #: name -> callable(seed, quick, ctx) ->
 #: (events, sim_seconds, checksum_lines[, extra])
 SCENARIOS: dict[str, Callable[..., tuple]] = {
@@ -323,6 +356,7 @@ SCENARIOS: dict[str, Callable[..., tuple]] = {
     "fig6_throughput": _scenario_fig6_throughput,
     "report_sweep": _scenario_report_sweep,
     "scale_stress": _scenario_scale_stress,
+    "chaos_stress": _scenario_chaos_stress,
 }
 
 

@@ -1,0 +1,41 @@
+"""Fault injection and resilience (see docs/resilience.md).
+
+Layout:
+
+* :mod:`repro.faults.plan` — declarative, seeded, JSON-serializable
+  fault plans (:class:`FaultPlan` / :class:`FaultSpec`);
+* :mod:`repro.faults.injector` — arms a plan against a live
+  deployment (:class:`FaultInjector`);
+* :mod:`repro.faults.resilience` — retry budgets, circuit breakers,
+  and fallback policy (:class:`ResiliencePolicy`);
+* :mod:`repro.faults.harness` — the chaos harness
+  (:func:`run_chaos`) behind ``repro chaos`` and the
+  ``chaos_stress`` bench scenario.
+"""
+
+from repro.faults.harness import ChaosReport, default_plan, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.resilience import (
+    FALLBACK_REASONS,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResiliencePolicy,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FALLBACK_REASONS",
+    "BreakerState",
+    "ChaosReport",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "ResilienceConfig",
+    "ResiliencePolicy",
+    "default_plan",
+    "run_chaos",
+]

@@ -1,0 +1,262 @@
+"""The chaos harness: run a fleet-scale workload under a fault plan.
+
+The contract under test is the paper's transparency promise taken to
+its robustness limit: **under any seeded finite-fault plan, every
+invocation still completes, and every run's observable result is
+identical to the fault-free run** — only *where* calls executed (and
+how long they took) may differ, because retries and x86 fallbacks are
+allowed.
+
+:func:`run_chaos` therefore runs the same seeded scale_stress-shaped
+workload twice — once fault-free as the baseline, once with the plan
+armed — and diffs the outcomes record by record. The resulting
+:class:`ChaosReport` carries the completion rate (must be 1.0), the
+fallback mix, retry/quarantine counts, and the chaos leg's events/sec.
+Both ``repro chaos`` (the CLI) and the ``chaos_stress`` wall-clock
+scenario are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResilienceConfig
+
+__all__ = ["ChaosReport", "default_plan", "run_chaos"]
+
+#: Workload shape (mirrors the scale_stress bench scenario).
+_QUICK_CLIENTS, _QUICK_BACKGROUND = 250, 25
+_FULL_CLIENTS, _FULL_BACKGROUND = 1000, 50
+_CALLS_PER_CLIENT = 3
+#: Client start times are staggered over [0, 30) s (scale_stress shape);
+#: default plans strike inside the busy window that follows.
+_DEFAULT_HORIZON_S = 45.0
+
+
+def default_plan(seed: int) -> FaultPlan:
+    """The generated plan ``repro chaos`` uses when none is given:
+    every fault kind at least once, aimed at the paper benchmarks'
+    hardware kernels, deterministic in ``seed``."""
+    from repro.workloads import PAPER_BENCHMARKS, profile_for
+
+    kernels = sorted(
+        {
+            profile_for(app).kernel_name
+            for app in PAPER_BENCHMARKS
+            if profile_for(app).kernel_name
+        }
+    )
+    return FaultPlan.generate(seed=seed, horizon_s=_DEFAULT_HORIZON_S, kernels=kernels)
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run proved (or failed to prove)."""
+
+    seed: int
+    clients: int
+    background: int
+    plan_faults: dict[str, int]
+    completed: int
+    mismatches: list[str]
+    faults_injected: int
+    retries: int
+    fallbacks: dict[str, int]
+    quarantines: int
+    goodput: float
+    breaker_states: dict[str, str]
+    events: int
+    sim_seconds: float
+    wall_s: float
+    #: Checksum lines for the chaos leg (bench-scenario format).
+    lines: list[str] = field(default_factory=list)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.clients if self.clients else 1.0
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The graceful-degradation contract held."""
+        return self.completion_rate == 1.0 and not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "clients": self.clients,
+            "background": self.background,
+            "plan_faults": dict(self.plan_faults),
+            "completed": self.completed,
+            "completion_rate": self.completion_rate,
+            "mismatches": list(self.mismatches),
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "fallbacks": dict(self.fallbacks),
+            "quarantines": self.quarantines,
+            "goodput": round(self.goodput, 6),
+            "breaker_states": dict(self.breaker_states),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "sim_seconds": round(self.sim_seconds, 6),
+            "wall_s": round(self.wall_s, 6),
+            "ok": self.ok,
+        }
+
+    def to_text(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"chaos {status}: {self.completed}/{self.clients} runs completed "
+            f"({self.completion_rate:.1%}), {len(self.mismatches)} result "
+            "mismatches vs fault-free baseline",
+            f"  plan: {sum(self.plan_faults.values())} faults "
+            + (
+                ", ".join(f"{kind} x{n}" for kind, n in self.plan_faults.items())
+                if self.plan_faults
+                else "(empty)"
+            ),
+            f"  injected: {self.faults_injected} faults -> {self.retries} "
+            f"retries, {sum(self.fallbacks.values())} fallbacks, "
+            f"{self.quarantines} quarantines (goodput {self.goodput:.1%})",
+        ]
+        for reason, count in sorted(self.fallbacks.items()):
+            if count:
+                lines.append(f"    fallback {reason}: {count}")
+        lines.append(
+            f"  {self.events} events in {self.wall_s:.2f} s wall "
+            f"({self.events_per_sec:,.0f} events/sec, "
+            f"{self.sim_seconds:.1f} simulated s)"
+        )
+        for mismatch in self.mismatches[:10]:
+            lines.append(f"  MISMATCH {mismatch}")
+        if len(self.mismatches) > 10:
+            lines.append(f"  ... and {len(self.mismatches) - 10} more mismatches")
+        return "\n".join(lines)
+
+
+def _run_workload(
+    seed: int,
+    n_clients: int,
+    background: int,
+    plan: Optional[FaultPlan],
+    config: Optional[ResilienceConfig],
+):
+    """One scale_stress-shaped run; returns (runtime, records).
+
+    The client mix and stagger are drawn from ``seed`` alone, so the
+    baseline and chaos legs issue the *same* workload.
+    """
+    from repro.core import SystemMode, build_system
+    from repro.workloads import PAPER_BENCHMARKS
+
+    pool = tuple(PAPER_BENCHMARKS)
+    rng = np.random.default_rng(seed)
+    runtime = build_system(sorted(set(pool)), seed=seed, resilience=config)
+    if plan is not None and len(plan):
+        FaultInjector(runtime).arm(plan)
+    load = runtime.launch_background(background)
+    handles = []
+    for index in range(n_clients):
+        app = pool[int(rng.integers(len(pool)))]
+        delay = float(rng.uniform(0.0, 30.0))
+        handles.append(
+            runtime.launch(
+                app,
+                seed=seed + index,
+                mode=SystemMode.XAR_TREK,
+                calls=_CALLS_PER_CLIENT,
+                delay_s=delay,
+            )
+        )
+    records = runtime.wait_all(handles)
+    load.stop()
+    return runtime, records
+
+
+def _record_lines(records) -> list[str]:
+    return [
+        f"{rec.app},{rec.start_s:.9f},{rec.end_s:.9f},{rec.calls_completed},"
+        f"{rec.migrations},{','.join(str(t) for t in rec.targets)}"
+        for rec in records
+    ]
+
+
+def run_chaos(
+    plan: Optional[FaultPlan] = None,
+    seed: int = 0,
+    quick: bool = False,
+    config: Optional[ResilienceConfig] = None,
+    clients: Optional[int] = None,
+    background: Optional[int] = None,
+) -> ChaosReport:
+    """Prove (or disprove) graceful degradation under ``plan``.
+
+    Runs the seeded workload fault-free, then again with the plan
+    armed, and compares per-client outcomes: same app, same seed, same
+    number of completed calls. ``clients``/``background`` override the
+    quick/full workload shape (tests use tiny fleets).
+    """
+    if plan is None:
+        plan = default_plan(seed)
+    n_clients = clients if clients is not None else (
+        _QUICK_CLIENTS if quick else _FULL_CLIENTS
+    )
+    n_background = background if background is not None else (
+        _QUICK_BACKGROUND if quick else _FULL_BACKGROUND
+    )
+
+    _baseline_rt, baseline = _run_workload(seed, n_clients, n_background, None, config)
+
+    started = time.perf_counter()
+    runtime, records = _run_workload(seed, n_clients, n_background, plan, config)
+    wall_s = time.perf_counter() - started
+
+    completed = sum(
+        1
+        for rec in records
+        if rec.finished and rec.calls_completed == _CALLS_PER_CLIENT
+    )
+    mismatches = []
+    for index, (base, chaos) in enumerate(zip(baseline, records)):
+        if (base.app, base.seed) != (chaos.app, chaos.seed):
+            mismatches.append(
+                f"client {index}: workload diverged "
+                f"({base.app}/{base.seed} vs {chaos.app}/{chaos.seed})"
+            )
+        elif base.calls_completed != chaos.calls_completed:
+            mismatches.append(
+                f"client {index} ({chaos.app}): completed "
+                f"{chaos.calls_completed} calls, baseline {base.calls_completed}"
+            )
+
+    summary = runtime.resilience.summary()
+    sim = runtime.platform.sim
+    lines = [f"chaos_stress:{n_clients}:{n_background}:{len(plan)}"]
+    lines.extend(_record_lines(records))
+    return ChaosReport(
+        seed=seed,
+        clients=n_clients,
+        background=n_background,
+        plan_faults=plan.counts_by_kind(),
+        completed=completed,
+        mismatches=mismatches,
+        faults_injected=summary["faults_injected"],
+        retries=summary["retries"],
+        fallbacks={k: v for k, v in summary["fallbacks"].items() if v},
+        quarantines=summary["quarantines"],
+        goodput=summary["goodput"],
+        breaker_states=summary["breaker_states"],
+        events=sim.events_processed,
+        sim_seconds=sim.now,
+        wall_s=wall_s,
+        lines=lines,
+    )

@@ -1,0 +1,383 @@
+"""Resilience policies: retry budgets, circuit breakers, local fallback.
+
+Xar-Trek's value proposition is that an invocation can always run
+*somewhere*; this module holds the policy state that makes the runtime
+deliver on that under injected faults:
+
+* a per-invocation **retry budget** with exponential backoff for FPGA
+  kernel runs (:meth:`ResiliencePolicy.backoff_s`), after which the
+  application falls back to x86 transparently;
+* a per-target **circuit breaker** (:class:`CircuitBreaker`) that
+  quarantines a repeatedly failing kernel or the device itself for a
+  cooldown, steering Algorithm 2 decisions away from it;
+* **scheduler-client timeouts** (``request_timeout_s``) with a local
+  x86 fallback decision when the scheduler daemon is down or slow.
+
+All knobs live in :class:`ResilienceConfig`. The defaults are always
+on: with zero faults none of the machinery fires, so fault-free runs
+are byte-identical to a build without it.
+
+Observability: ``retries_total{kernel}``, ``fallbacks_total{reason}``,
+``quarantines_total{target}`` counters and a *pull-mode*
+``circuit_breaker_state{target}`` gauge (0 = closed, 0.5 = half-open,
+1 = open; the breaker maintains the gauge-shaped aggregates
+incrementally and the registry samples them at snapshot time, matching
+the ``cpu_load`` pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.metrics import MetricsRegistry
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "FALLBACK_REASONS",
+    "ResilienceConfig",
+    "ResiliencePolicy",
+]
+
+#: Every reason `fallbacks_total` is labeled with.
+FALLBACK_REASONS: tuple[str, ...] = (
+    "kernel_fault",       # retry budget exhausted on mid-flight run faults
+    "kernel_absent",      # scheduler race: kernel not resident at call time
+    "quarantined",        # circuit breaker open for the kernel
+    "configure_failed",   # ALWAYS_FPGA synchronous configuration failed
+    "scheduler_timeout",  # no reply within request_timeout_s
+    "scheduler_down",     # scheduler refused/failed the request
+)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every policy knob in one frozen record (see docs/resilience.md).
+
+    The defaults keep fault-free behaviour bit-identical to the
+    pre-resilience runtime: retries, breakers, and timeouts only
+    engage when something actually fails or stalls.
+    """
+
+    #: Extra FPGA kernel-run attempts per invocation after the first
+    #: failure (0 disables retrying: first fault falls back immediately).
+    kernel_retry_limit: int = 2
+    #: Backoff before retry attempt k: ``backoff_base_s * factor**k``.
+    retry_backoff_s: float = 1e-3
+    retry_backoff_factor: float = 2.0
+    #: Consecutive failures that open a breaker, and how long it stays
+    #: open before a half-open trial is allowed.
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 10.0
+    #: Client-side scheduler-request timeout; ``None`` disables the
+    #: timeout (and with it the local fallback on a slow server).
+    request_timeout_s: Optional[float] = 0.02
+    #: Background reconfiguration retries after a programming failure.
+    reconfig_retry_limit: int = 3
+    reconfig_retry_backoff_s: float = 0.25
+
+    def __post_init__(self):
+        if self.kernel_retry_limit < 0:
+            raise ValueError("kernel_retry_limit must be >= 0")
+        if self.retry_backoff_s < 0 or self.retry_backoff_factor < 1.0:
+            raise ValueError("retry backoff must be >= 0 with factor >= 1")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive or None")
+        if self.reconfig_retry_limit < 0 or self.reconfig_retry_backoff_s < 0:
+            raise ValueError("reconfig retry knobs must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based)."""
+        return self.retry_backoff_s * self.retry_backoff_factor ** attempt
+
+
+class BreakerState:
+    """One target's circuit-breaker state machine.
+
+    closed --(threshold consecutive failures)--> open
+    open --(cooldown elapses; next allow())--> half-open
+    half-open --success--> closed, --failure--> open (fresh cooldown)
+
+    The numeric encoding (closed 0, half-open 0.5, open 1) doubles as a
+    gauge series: the state keeps value/min/max/time-weighted-mean
+    aggregates incrementally, so :meth:`snapshot` is pull-sampled by
+    :meth:`repro.metrics.Gauge.bind_sampler` with no per-transition
+    metric writes on the hot path.
+    """
+
+    CLOSED, HALF_OPEN, OPEN = "closed", "half-open", "open"
+    _VALUE = {CLOSED: 0.0, HALF_OPEN: 0.5, OPEN: 1.0}
+
+    __slots__ = (
+        "clock", "threshold", "cooldown_s", "state", "failures",
+        "opened_at", "open_count",
+        "_t0", "_last_t", "_value", "_min", "_max", "_integral", "_updates",
+    )
+
+    def __init__(self, clock: Callable[[], float], threshold: int, cooldown_s: float):
+        self.clock = clock
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = BreakerState.CLOSED
+        self.failures = 0          # consecutive failures while closed
+        self.opened_at = 0.0
+        self.open_count = 0        # times the breaker tripped open
+        now = clock()
+        self._t0 = now
+        self._last_t = now
+        self._value = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        self._integral = 0.0
+        self._updates = 0
+
+    # -- gauge aggregates ---------------------------------------------------
+    def _transition(self, state: str) -> None:
+        now = self.clock()
+        self._integral += self._value * (now - self._last_t)
+        self._last_t = now
+        self.state = state
+        self._value = BreakerState._VALUE[state]
+        self._min = min(self._min, self._value)
+        self._max = max(self._max, self._value)
+        self._updates += 1
+
+    def snapshot(self) -> dict[str, float]:
+        """Gauge-shaped view (:meth:`Gauge.bind_sampler` contract)."""
+        now = self.clock()
+        elapsed = now - self._t0
+        integral = self._integral + self._value * (now - self._last_t)
+        return {
+            "value": self._value,
+            "min": self._min,
+            "max": self._max,
+            "time_weighted_mean": integral / elapsed if elapsed > 0 else self._value,
+            "updates": self._updates,
+        }
+
+    # -- the state machine --------------------------------------------------
+    def allow(self) -> bool:
+        """May the caller route work at this target right now?
+
+        While open, flips to half-open (one trial allowed) once the
+        cooldown has elapsed.
+        """
+        if self.state == BreakerState.CLOSED:
+            return True
+        if self.state == BreakerState.OPEN:
+            if self.clock() - self.opened_at >= self.cooldown_s:
+                self._transition(BreakerState.HALF_OPEN)
+                return True
+            return False
+        return True  # half-open: the trial is in flight
+
+    def record_failure(self) -> bool:
+        """Fold in one failure; returns True when this call tripped the
+        breaker open (new quarantine)."""
+        if self.state == BreakerState.HALF_OPEN:
+            # The half-open trial failed: straight back to open.
+            self.opened_at = self.clock()
+            self.open_count += 1
+            self._transition(BreakerState.OPEN)
+            return True
+        if self.state == BreakerState.OPEN:
+            return False
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.failures = 0
+            self.opened_at = self.clock()
+            self.open_count += 1
+            self._transition(BreakerState.OPEN)
+            return True
+        return False
+
+    def record_success(self) -> None:
+        if self.state == BreakerState.CLOSED:
+            self.failures = 0
+            return
+        # A success in half-open (or a stale success racing the open
+        # transition) closes the breaker and resets the failure run.
+        self.failures = 0
+        self._transition(BreakerState.CLOSED)
+
+
+class CircuitBreaker:
+    """A keyed family of :class:`BreakerState` machines.
+
+    Keys name quarantine targets: ``kernel:<name>`` for hardware
+    kernels, ``device:fpga`` for the card as a whole. Each key's state
+    is exported as one ``circuit_breaker_state{target}`` series, bound
+    lazily on first use so fault-free runs export no breaker series at
+    all (keeping existing snapshots unchanged).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        threshold: int,
+        cooldown_s: float,
+        metrics: Optional[MetricsRegistry] = None,
+        on_open: Optional[Callable[[str], None]] = None,
+    ):
+        self._clock = clock
+        self._threshold = threshold
+        self._cooldown_s = cooldown_s
+        self._metrics = metrics
+        self._on_open = on_open
+        self._states: dict[str, BreakerState] = {}
+
+    def _state(self, key: str) -> BreakerState:
+        state = self._states.get(key)
+        if state is None:
+            state = BreakerState(self._clock, self._threshold, self._cooldown_s)
+            self._states[key] = state
+            if self._metrics is not None:
+                self._metrics.gauge(
+                    "circuit_breaker_state",
+                    "per-target breaker state (0 closed, 0.5 half-open, 1 open)",
+                    labelnames=("target",),
+                ).labels(target=key).bind_sampler(state.snapshot)
+        return state
+
+    def allow(self, key: str) -> bool:
+        state = self._states.get(key)
+        return True if state is None else state.allow()
+
+    def record_failure(self, key: str) -> bool:
+        """Returns True when this failure tripped the breaker open."""
+        tripped = self._state(key).record_failure()
+        if tripped and self._on_open is not None:
+            self._on_open(key)
+        return tripped
+
+    def record_success(self, key: str) -> None:
+        state = self._states.get(key)
+        if state is not None:
+            state.record_success()
+
+    def state_of(self, key: str) -> str:
+        state = self._states.get(key)
+        return BreakerState.CLOSED if state is None else state.state
+
+    def states(self) -> dict[str, str]:
+        return {key: state.state for key, state in sorted(self._states.items())}
+
+
+class ResiliencePolicy:
+    """The runtime's shared resilience brain.
+
+    One instance per :class:`~repro.core.runtime.XarTrekRuntime`; the
+    application run loop, the scheduler server, and the chaos harness
+    all consult it. Counter families are registered eagerly (they
+    appear in every export at zero, making regressions diffable);
+    breaker gauge series appear only for targets that ever failed.
+    """
+
+    KERNEL_PREFIX = "kernel:"
+    DEVICE_KEY = "device:fpga"
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        metrics: MetricsRegistry,
+        config: Optional[ResilienceConfig] = None,
+    ):
+        self.config = config or ResilienceConfig()
+        self.metrics = metrics
+        self._m_retries = metrics.counter(
+            "retries_total",
+            "FPGA kernel-run retries after mid-flight faults",
+            labelnames=("kernel",),
+        )
+        self._m_fallbacks = metrics.counter(
+            "fallbacks_total",
+            "invocations served by x86 instead of the decided target",
+            labelnames=("reason",),
+        )
+        self._m_quarantines = metrics.counter(
+            "quarantines_total",
+            "circuit-breaker trips into the open state",
+            labelnames=("target",),
+        )
+        self.breaker = CircuitBreaker(
+            clock,
+            threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            metrics=metrics,
+            on_open=self._count_quarantine,
+        )
+
+    def _count_quarantine(self, key: str) -> None:
+        self._m_quarantines.labels(target=key).inc()
+
+    # -- counters -----------------------------------------------------------
+    def count_retry(self, kernel: str) -> None:
+        self._m_retries.labels(kernel=kernel).inc()
+
+    def count_fallback(self, reason: str) -> None:
+        self._m_fallbacks.labels(reason=reason).inc()
+
+    # -- kernel-level breaker ------------------------------------------------
+    def kernel_key(self, kernel: str) -> str:
+        return f"{self.KERNEL_PREFIX}{kernel}"
+
+    def allow_kernel(self, kernel: str) -> bool:
+        return self.breaker.allow(self.kernel_key(kernel))
+
+    def record_kernel_failure(self, kernel: str) -> bool:
+        return self.breaker.record_failure(self.kernel_key(kernel))
+
+    def record_kernel_success(self, kernel: str) -> None:
+        self.breaker.record_success(self.kernel_key(kernel))
+
+    # -- device-level breaker ------------------------------------------------
+    def allow_device(self) -> bool:
+        return self.breaker.allow(self.DEVICE_KEY)
+
+    def record_device_failure(self) -> bool:
+        return self.breaker.record_failure(self.DEVICE_KEY)
+
+    def record_device_success(self) -> None:
+        self.breaker.record_success(self.DEVICE_KEY)
+
+    # -- summary ------------------------------------------------------------
+    def summary(self) -> dict:
+        """Availability/goodput view over the policy's own counters plus
+        the runtime's invocation counters (shared via the registry).
+
+        ``goodput`` is the fraction of invocations served by the target
+        the system *chose* for them — fallbacks complete correctly but
+        slower, so goodput < 1.0 with availability 1.0 is exactly the
+        graceful-degradation contract.
+        """
+        fallbacks = {
+            key[0]: int(count) for key, count in self._m_fallbacks.as_dict().items()
+        }
+        retries = int(self._m_retries.value)
+        quarantines = int(self._m_quarantines.value)
+        invocations = 0
+        family = self.metrics.get("invocations_total")
+        if family is not None:
+            invocations = int(family.value)
+        total_fallbacks = sum(fallbacks.values())
+        faults = 0
+        fault_family = self.metrics.get("faults_injected_total")
+        if fault_family is not None:
+            faults = int(fault_family.value)
+        return {
+            "invocations": invocations,
+            "faults_injected": faults,
+            "retries": retries,
+            "fallbacks": fallbacks,
+            "fallbacks_total": total_fallbacks,
+            "quarantines": quarantines,
+            "goodput": (
+                (invocations - total_fallbacks) / invocations if invocations else 1.0
+            ),
+            "breaker_states": self.breaker.states(),
+        }

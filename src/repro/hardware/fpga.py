@@ -139,6 +139,16 @@ class FPGADevice:
         #: Accumulated kernel-occupancy seconds (for energy accounting).
         self.busy_seconds = 0.0
         self._fail_next_reconfigs = 0
+        #: Crash state: while crashed the card is off the bus — no
+        #: kernels callable, configuration attempts fail asynchronously,
+        #: in-flight runs abort. crash()/recover() are the fault
+        #: injector's device-loss window.
+        self._crashed = False
+        self.crash_count = 0
+        #: In-flight kernel executions (done events), failed en masse on
+        #: a crash; finish callbacks guard on `done.triggered`.
+        self._inflight_execs: dict[int, Event] = {}
+        self._exec_ids = 0
 
     # -- queries -------------------------------------------------------------
     @property
@@ -150,9 +160,13 @@ class FPGADevice:
         return self._reconfiguring
 
     @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
     def available_kernels(self) -> tuple[str, ...]:
-        """Kernels callable right now (none while reconfiguring)."""
-        if self._image is None or self._reconfiguring:
+        """Kernels callable right now (none while reconfiguring/crashed)."""
+        if self._image is None or self._reconfiguring or self._crashed:
             return ()
         return tuple(self._image.kernel_names)
 
@@ -179,10 +193,57 @@ class FPGADevice:
     def inject_reconfig_failures(self, count: int = 1) -> None:
         """Make the next ``count`` reconfigurations fail after their
         programming delay (driver/bitstream errors happen in practice;
-        the scheduler must retry, not wedge)."""
+        the scheduler must retry, not wedge).
+
+        Validation happens *before* any state changes, and repeated
+        arming is **additive**: ``inject_reconfig_failures(2)`` twice
+        arms four failures. Injected failures are consumed strictly in
+        reconfiguration order.
+        """
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise SimulationError(f"failure count must be an int, got {count!r}")
         if count < 0:
             raise SimulationError("failure count must be non-negative")
         self._fail_next_reconfigs += count
+
+    @property
+    def pending_reconfig_failures(self) -> int:
+        """Armed-but-unconsumed reconfiguration failures."""
+        return self._fail_next_reconfigs
+
+    def crash(self) -> None:
+        """The card drops off the bus (power fault, PCIe link loss).
+
+        Idempotent while already crashed. Effects, all at the crash
+        instant: the loaded image is lost, in-flight kernel runs fail,
+        and an in-flight reconfiguration fails immediately (its
+        ``configure`` event carries the error; ``settled`` waiters wake).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crash_count += 1
+        self.tracer.record("fpga", f"{self.spec.name}: device CRASHED")
+        self._image = None
+        self._compute_units = {}
+        if self._reconfig_done is not None:
+            done = self._reconfig_done
+            self._reconfiguring = False
+            self._reconfig_done = None
+            self.failed_reconfigurations += 1
+            done.fail(SimulationError(f"{self.spec.name}: device crashed mid-reconfiguration"))
+        inflight = list(self._inflight_execs.values())
+        self._inflight_execs.clear()
+        for done in inflight:
+            done.fail(SimulationError(f"{self.spec.name}: device crashed mid-run"))
+
+    def recover(self) -> None:
+        """The card comes back, unconfigured; the next ``configure``
+        (e.g. the scheduler's background reconfiguration) restores it."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.tracer.record("fpga", f"{self.spec.name}: device recovered (unconfigured)")
 
     # -- reconfiguration ------------------------------------------------------
     def configure(self, image: ConfigImage) -> Event:
@@ -194,6 +255,12 @@ class FPGADevice:
         is an error (the paper serializes reconfigurations in the
         scheduler server).
         """
+        if self._crashed:
+            # Off the bus: fail asynchronously (callers treat it exactly
+            # like a programming failure and retry after recovery).
+            done = self.sim.event()
+            done.fail(SimulationError(f"{self.spec.name}: device crashed"))
+            return done
         if self._reconfiguring:
             assert self._reconfig_done is not None
             if self._image is not None and self._image.name == image.name:
@@ -215,6 +282,12 @@ class FPGADevice:
                 f"{self.spec.name}: cannot reconfigure while kernels run: {busy_cus}"
             )
 
+        # Programming may fail; keep the outgoing image around so a
+        # failure rolls back to it instead of leaving the card empty
+        # (the resident kernels stayed valid — only the *new* bitstream
+        # never took).
+        prev_image = self._image
+        prev_cus = self._compute_units
         self._image = image
         self._reconfiguring = True
         self.reconfiguration_count += 1
@@ -229,16 +302,19 @@ class FPGADevice:
         self._reconfig_done = done
 
         def finish() -> None:
+            if done.triggered:
+                return  # a crash already failed this reconfiguration
             self._reconfiguring = False
             self._reconfig_done = None
             if self._fail_next_reconfigs > 0:
                 self._fail_next_reconfigs -= 1
                 self.failed_reconfigurations += 1
-                self._image = None
-                self._compute_units = {}
+                self._image = prev_image
+                self._compute_units = prev_cus
                 self.tracer.record(
                     "fpga",
-                    f"{self.spec.name}: programming {image.name} FAILED",
+                    f"{self.spec.name}: programming {image.name} FAILED"
+                    + (f"; {prev_image.name} stays resident" if prev_image else ""),
                     image=image.name,
                 )
                 done.fail(
@@ -280,8 +356,14 @@ class FPGADevice:
         sim = self.sim
         done = sim.event()
         req = cu.request()
+        self._exec_ids += 1
+        token = self._exec_ids
+        self._inflight_execs[token] = done
 
         def finish() -> None:
+            self._inflight_execs.pop(token, None)
+            if done.triggered:
+                return  # aborted by a device crash mid-run
             cu.release(req)
             self.busy_seconds += duration
             self.tracer.record(

@@ -51,10 +51,37 @@ class Link:
         self._server = FairShareServer(
             sim, spec.name, capacity=spec.bandwidth_bytes_per_s, job_cap=None
         )
+        self._degradation = 1.0
 
     @property
     def active_transfers(self) -> int:
         return self._server.active_jobs
+
+    @property
+    def degradation(self) -> float:
+        """Current bandwidth fraction (1.0 = healthy)."""
+        return self._degradation
+
+    def set_degradation(self, factor: float) -> None:
+        """Run the link at ``factor`` of its nominal bandwidth.
+
+        ``factor`` in (0, 1]; 1.0 restores full speed. In-flight
+        transfers finish later/earlier accordingly (exact fair-share
+        rescheduling — see :meth:`FairShareServer.set_capacity`). The
+        fault injector uses this for link-degradation windows.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise SimulationError(f"degradation factor must be in (0, 1], got {factor!r}")
+        if factor == self._degradation:
+            return
+        self._degradation = factor
+        self._server.set_capacity(self.spec.bandwidth_bytes_per_s * factor)
+        self.tracer.record(
+            "link",
+            f"{self.spec.name}: bandwidth set to {factor:.0%} of nominal",
+            link=self.spec.name,
+            factor=factor,
+        )
 
     def transfer(self, nbytes: float, tag: Any = None) -> Event:
         """Move ``nbytes`` across the link; the event fires on completion."""

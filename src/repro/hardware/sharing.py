@@ -216,6 +216,22 @@ class FairShareServer:
             self._max_jobs = n
         self._transitions += 1
 
+    # -- capacity changes --------------------------------------------------
+    def set_capacity(self, capacity: float) -> None:
+        """Change the service capacity from *now* on (link degradation,
+        core offlining). Exact under the virtual-time model: service
+        already delivered was folded into the shared integral at the old
+        rate by :meth:`_advance`; the next completion is re-derived at
+        the new per-job rate. A no-op when the capacity is unchanged.
+        """
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if capacity == self.capacity:
+            return
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
     # -- job lifecycle -----------------------------------------------------
     def submit(self, work: float, tag: Any = None, on_complete=None) -> Job:
         """Enter a job with total demand ``work``; returns its handle.

@@ -110,13 +110,27 @@ class XRTDevice:
     # -- fault injection ---------------------------------------------------
     def inject_run_failures(self, kernel_name: str, count: int = 1) -> None:
         """Make the next ``count`` runs of ``kernel_name`` fail mid-flight
-        (ECC error, watchdog timeout, ...). Callers are expected to fall
-        back to a CPU target."""
+        (ECC error, watchdog timeout, ...). Callers are expected to
+        retry and/or fall back to a CPU target.
+
+        All arguments are validated *before* any state changes, and
+        repeated arming is **additive**: arming 2 then 3 failures makes
+        the next 5 runs of the kernel fail. Counters are consumed
+        strictly in run order, one per started run.
+        """
+        if not isinstance(kernel_name, str) or not kernel_name:
+            raise XRTError(f"kernel name must be a non-empty string, got {kernel_name!r}")
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise XRTError(f"failure count must be an int, got {count!r}")
         if count < 0:
             raise XRTError("failure count must be non-negative")
         self._fail_next_runs[kernel_name] = (
             self._fail_next_runs.get(kernel_name, 0) + count
         )
+
+    def pending_run_failures(self, kernel_name: str) -> int:
+        """Armed-but-unconsumed run failures for ``kernel_name``."""
+        return self._fail_next_runs.get(kernel_name, 0)
 
     # -- configuration ------------------------------------------------------
     def load_xclbin(self, image) -> Event:
@@ -269,7 +283,11 @@ class XRTDevice:
             )
             done.succeed(run)
 
-        def after_execute(_ev: Event) -> None:
+        def after_execute(ev: Event) -> None:
+            if not ev.ok:
+                # The device failed the run mid-flight (crash window).
+                fail(ev.value)
+                return
             out_buf.on_device = True
             if bytes_out:
                 transfer = self.pcie.transfer(
@@ -293,6 +311,9 @@ class XRTDevice:
             except SimulationError as exc:
                 fail(exc)
                 return
+            # A crash can fail the device-side event; the failure is
+            # converted to an XRTError on `done` above, so defuse it.
+            execute_done.defused = True
             execute_done.callbacks.append(after_execute)
 
         if bytes_in:

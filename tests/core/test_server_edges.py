@@ -74,20 +74,33 @@ class TestMaybeReconfigure:
 
 
 class TestReconfigurationFailure:
-    def test_failure_counted_and_retried_on_next_request(self, runtime):
+    def test_failure_counted_and_retried_in_background(self, runtime):
         runtime.platform.fpga.inject_reconfig_failures(1)
         kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
         runtime.server.preconfigure("digit.2000")
+        # Draining the queue runs the failed attempt *and* the server's
+        # background retry (no client request needed): the old image
+        # rolls back, the retry waits out the backoff, and the second
+        # programming pass succeeds.
         runtime.platform.sim.run()
         assert runtime.server.stats.reconfigurations_failed == 1
-        assert not runtime.xrt.has_kernel(kernel)
-        # digit.2000's FPGA threshold is 0, so the next request retries.
-        reply = runtime.server.request("digit.2000")
-        runtime.platform.sim.run_until_event(reply)
         assert runtime.server.stats.reconfigurations_started == 2
-        runtime.platform.sim.run()
         assert runtime.xrt.has_kernel(kernel)
-        assert runtime.server.stats.reconfigurations_failed == 1
+
+    def test_breaker_and_retry_budget_bound_consecutive_failures(self, runtime):
+        armed = 8
+        runtime.platform.fpga.inject_reconfig_failures(armed)
+        runtime.server.preconfigure("digit.2000")
+        runtime.platform.sim.run()
+        # Consecutive programming failures trip the device breaker at
+        # its threshold; the remaining background retries are skipped
+        # (quarantine) instead of hammering the card forever.
+        threshold = runtime.resilience.config.breaker_failure_threshold
+        assert runtime.server.stats.reconfigurations_failed == threshold
+        assert runtime.resilience.breaker.state_of("device:fpga") == "open"
+        assert (
+            runtime.platform.fpga.pending_reconfig_failures == armed - threshold
+        )
 
     def test_failure_does_not_crash_the_simulation(self, runtime):
         runtime.platform.fpga.inject_reconfig_failures(1)
