@@ -153,6 +153,30 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--emit-plan", default=None, metavar="FILE",
                        help="write the (possibly generated) plan here and exit")
 
+    cohort = sub.add_parser(
+        "cohort",
+        help="run a cohort-vectorized client population (O(cohorts) "
+        "events for thousands of clients)",
+    )
+    cohort.add_argument("--clients", type=int, default=10_000,
+                        help="total clients across all cohorts")
+    cohort.add_argument("--calls", type=int, default=5,
+                        help="scheduler calls per client")
+    cohort.add_argument("--apps", nargs="+", default=None,
+                        help="applications, one cohort each (default: the "
+                        "paper benchmark set)")
+    cohort.add_argument("--background", type=int, default=50,
+                        help="static background processes on the x86 host")
+    cohort.add_argument("--seed", type=int, default=0)
+    cohort.add_argument("--reference", action="store_true",
+                        help="force the per-client reference path "
+                        "(also: REPRO_COHORT_REFERENCE=1)")
+    cohort.add_argument("--verify", action="store_true",
+                        help="run both paths and assert bit-identical "
+                        "per-client results (the differential oracle)")
+    cohort.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the per-cohort summary as JSON")
+
     metrics = sub.add_parser(
         "metrics",
         help="run an instrumented application set and report p50/p95/p99",
@@ -354,6 +378,80 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cohort(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.core.cohort import ArrivalLaw, CohortSpec
+
+    apps = tuple(sorted(set(args.apps or PAPER_BENCHMARKS)))
+    laws = ("uniform", "poisson", "staggered")
+    rng = np.random.default_rng(args.seed)
+    per_app = args.clients // len(apps)
+    specs = []
+    for index, app in enumerate(apps):
+        clients = per_app + (args.clients - per_app * len(apps) if index == 0 else 0)
+        specs.append(
+            CohortSpec(
+                app,
+                clients,
+                calls=args.calls,
+                arrival=ArrivalLaw(
+                    laws[index % len(laws)],
+                    start=float(rng.uniform(0.0, 5.0)),
+                    span=30.0,
+                ),
+                seed=int(rng.integers(2**32)),
+            )
+        )
+
+    def run(vectorized):
+        runtime = build_system(apps, seed=args.seed)
+        return runtime.run_cohorts(
+            specs, background=args.background, vectorized=vectorized
+        )
+
+    result = run(not args.reference)
+    if args.verify:
+        reference = run(False if not args.reference else True)
+        if reference.lines() != result.lines():
+            print("VERIFY FAIL : vectorized and per-client paths diverge")
+            return 1
+        print("verify      : both paths bit-identical "
+              f"({result.clients} clients, {len(result.cohorts)} cohorts)")
+    print(f"path        : {result.path}")
+    print(f"clients     : {result.clients} in {len(result.cohorts)} cohorts")
+    print(f"sim events  : {result.sim_events}")
+    print(f"logical     : {result.logical_events} client events")
+    print(f"sim seconds : {result.sim_seconds:.3f}")
+    for target, count in sorted(result.served_by_target().items()):
+        print(f"served {target.name.lower():<5}: {count}")
+    if result.fault_fallbacks:
+        print(f"fallbacks   : {result.fault_fallbacks}")
+    for line in result.lines():
+        print(f"  {line}")
+    if args.json:
+        payload = {
+            "path": result.path,
+            "clients": result.clients,
+            "sim_events": result.sim_events,
+            "logical_events": result.logical_events,
+            "sim_seconds": result.sim_seconds,
+            "decisions_by_target": {
+                t.name.lower(): c for t, c in result.decisions_by_target.items()
+            },
+            "decisions_by_rule": result.decisions_by_rule,
+            "fault_fallbacks": result.fault_fallbacks,
+            "lines": result.lines(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json        : {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.wallclock import (
         available_scenarios,
@@ -418,6 +516,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "cohort":
+        return _cmd_cohort(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -8,6 +8,14 @@ runtime facade (:mod:`runtime`).
 
 from repro.core.application import ApplicationRun, RunRecord, SystemMode
 from repro.core.client import ThresholdUpdater, UpdateOutcome
+from repro.core.cohort import (
+    ArrivalLaw,
+    CohortError,
+    CohortPopulation,
+    CohortResult,
+    CohortRunResult,
+    CohortSpec,
+)
 from repro.core.policies import (
     PolicyFn,
     cost_model_policy,
@@ -20,7 +28,13 @@ from repro.core.server import SchedulerServer, ServerStats
 
 __all__ = [
     "ApplicationRun",
+    "ArrivalLaw",
     "BackgroundLoad",
+    "CohortError",
+    "CohortPopulation",
+    "CohortResult",
+    "CohortRunResult",
+    "CohortSpec",
     "Decision",
     "PolicyFn",
     "RunRecord",

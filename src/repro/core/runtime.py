@@ -270,6 +270,43 @@ class XarTrekRuntime:
         self.platform.sim.call_in(delay_s, kick)
         return done
 
+    def run_cohorts(
+        self,
+        specs,
+        background: int = 0,
+        vectorized: Optional[bool] = None,
+        fault_plan=None,
+        resident_kernels=None,
+    ):
+        """Run a cohort-vectorized client population against this system.
+
+        The population borrows the deployed server's threshold table,
+        socket latency, and metrics registry, so its decision counters
+        land next to the per-client scheduler's
+        (:meth:`~repro.core.server.ServerStats.record_decisions`). A
+        ``fault_plan`` is resolved ahead of time to individual clients
+        via :func:`repro.faults.cohort.resolve_cohort_faults`. Returns
+        a :class:`~repro.core.cohort.CohortRunResult`; pass
+        ``vectorized=False`` for the per-client reference path.
+        """
+        from repro.core.cohort import CohortPopulation
+        from repro.faults.cohort import resolve_cohort_faults
+
+        specs = tuple(specs)
+        fault_targets = None
+        if fault_plan is not None:
+            fault_targets = resolve_cohort_faults(
+                fault_plan, specs, self.server.thresholds
+            )
+        population = CohortPopulation(
+            specs,
+            background=background,
+            server=self.server,
+            resident_kernels=resident_kernels,
+            fault_targets=fault_targets,
+        )
+        return population.run(sim=self.platform.sim, vectorized=vectorized)
+
     def launch_background(
         self, n_processes: int, work_s: Optional[float] = None, duty: float = 1.0
     ) -> BackgroundLoad:

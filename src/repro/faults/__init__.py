@@ -13,6 +13,7 @@ Layout:
   ``chaos_stress`` bench scenario.
 """
 
+from repro.faults.cohort import resolve_cohort_faults
 from repro.faults.harness import ChaosReport, default_plan, run_chaos
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultPlanError, FaultSpec
@@ -37,5 +38,6 @@ __all__ = [
     "ResilienceConfig",
     "ResiliencePolicy",
     "default_plan",
+    "resolve_cohort_faults",
     "run_chaos",
 ]

@@ -1,0 +1,106 @@
+"""Cohort-aware fault targeting.
+
+The fault plans in :mod:`repro.faults.plan` speak in terms of the live
+deployment ("the next N runs of kernel K fail", "the card is gone for
+this window"). The cohort-vectorized client model
+(:mod:`repro.core.cohort`) has no live kernel runs to intercept — its
+clients are rows in numpy arrays — so chaos must be resolved *ahead of
+time* to the individual clients it would have struck:
+
+* ``kernel_fault`` — the first ``count`` clients (in arrival order,
+  ties broken by cohort then client index) whose application uses the
+  named kernel and who arrive at or after ``at_s``, faulted on their
+  first call;
+* ``device_crash`` — every FPGA-capable client arriving inside
+  ``[at_s, end_s)``, faulted on every call.
+
+Both resolve to ``(cohort, client, call)`` triples the population
+applies when a decision actually chose the FPGA, which mirrors the
+injector: a kernel fault that never meets a running kernel is a no-op.
+The remaining kinds (``reconfig_fault``, ``link_degrade``,
+``server_outage``, ``server_slow``) perturb machinery the open-loop
+cohort model deliberately does not simulate and are ignored here; the
+chaos harness still exercises them through the per-client runtime.
+
+Resolution uses :func:`repro.core.cohort.sample_arrivals`, so the
+targeted clients are exactly the ones the population will simulate —
+no population object needs to exist yet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cohort import CohortSpec, sample_arrivals
+from repro.faults.plan import FaultPlan
+from repro.thresholds import ThresholdTable
+from repro.workloads import profile_for
+
+__all__ = ["resolve_cohort_faults"]
+
+#: Fault kinds this resolver can map onto cohort clients.
+COHORT_FAULT_KINDS = ("kernel_fault", "device_crash")
+
+
+def resolve_cohort_faults(
+    plan: FaultPlan,
+    specs: Iterable[CohortSpec],
+    thresholds: ThresholdTable,
+) -> frozenset[tuple[int, int, int]]:
+    """Map ``plan`` onto the clients of ``specs``.
+
+    Returns the ``(cohort, client, call)`` triples to pass as
+    ``fault_targets`` to :class:`~repro.core.cohort.CohortPopulation`.
+    Deterministic: same plan + specs -> same triples.
+    """
+    specs = tuple(specs)
+    cohorts = []
+    for index, spec in enumerate(specs):
+        entry = thresholds.entry(spec.app)
+        profile = profile_for(spec.app)
+        calls = spec.calls if spec.calls is not None else profile.calls_per_run
+        cohorts.append(
+            {
+                "index": index,
+                "kernel": entry.kernel_name if profile.fpga_capable else "",
+                "calls": calls,
+                "arrivals": sample_arrivals(spec),
+            }
+        )
+
+    targets: set[tuple[int, int, int]] = set()
+    for fault in plan:
+        if fault.kind == "kernel_fault":
+            targets.update(_kernel_fault_targets(fault, cohorts))
+        elif fault.kind == "device_crash":
+            targets.update(_device_crash_targets(fault, cohorts))
+    return frozenset(targets)
+
+
+def _kernel_fault_targets(fault, cohorts) -> Sequence[tuple[int, int, int]]:
+    candidates = []
+    for cohort in cohorts:
+        if cohort["kernel"] != fault.target:
+            continue
+        for client, arrival in enumerate(cohort["arrivals"]):
+            if arrival >= fault.at_s:
+                candidates.append((float(arrival), cohort["index"], client))
+    candidates.sort()
+    return [
+        (cohort_index, client, 0)
+        for (_arrival, cohort_index, client) in candidates[: fault.count]
+    ]
+
+
+def _device_crash_targets(fault, cohorts) -> Sequence[tuple[int, int, int]]:
+    struck = []
+    for cohort in cohorts:
+        if not cohort["kernel"]:
+            continue
+        for client, arrival in enumerate(cohort["arrivals"]):
+            if fault.at_s <= arrival < fault.end_s:
+                struck.extend(
+                    (cohort["index"], client, call)
+                    for call in range(cohort["calls"])
+                )
+    return struck

@@ -6,7 +6,14 @@ Provides the event loop (:class:`Simulator`), generator-based processes
 structured tracing (:class:`Tracer`).
 """
 
-from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import (
+    Event,
+    HeapEventQueue,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
 from repro.sim.process import AllOf, AnyOf, Process
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RandomStreams
@@ -15,7 +22,9 @@ from repro.sim.tracing import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Event",
+    "HeapEventQueue",
     "Interrupt",
     "Process",
     "RandomStreams",

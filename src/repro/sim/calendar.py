@@ -1,0 +1,147 @@
+"""A calendar-queue pending-event set (R. Brown, CACM 1988).
+
+The default simulator queue is a binary heap: O(log n) per operation.
+A calendar queue buckets events by time modulo a "year" of ``nbuckets``
+bucket-widths and dequeues by scanning the current year's buckets in
+window order, which is amortized O(1) when the bucket width tracks the
+event-time density. This module exists as much for its differential
+test as for speed: :class:`CalendarQueue` must pop in *exactly* the
+same ``(at, seq)`` order as :class:`~repro.sim.engine.HeapEventQueue`
+(same-timestamp ties included), and ``tests/sim/test_event_queue.py``
+holds the two against each other over hypothesis-generated schedules.
+
+Correctness notes:
+
+* Entries are ``(at, seq, event)`` tuples with a unique ``seq``, so
+  tuple comparison always resolves at ``(at, seq)`` and never reaches
+  the event object. Buckets are kept sorted with ``bisect.insort``.
+* A bucket is "current" when its head's *window index*
+  ``int(at / width)`` equals the scan window — the identical integer
+  computation that assigned the bucket in :meth:`push`, so window
+  membership can never disagree between enqueue and dequeue (a naive
+  ``at < bucket_top`` comparison can, from rounding in the
+  ``(window + 1) * width`` product).
+* Events with equal timestamps share a window, hence a bucket, where
+  ``seq`` orders them — ties cannot straddle buckets.
+* The dequeue scan assumes time monotonicity: the simulator never
+  enqueues earlier than the last dequeued timestamp (it enqueues at
+  ``now + delay`` with ``delay >= 0``). Under that invariant the scan
+  window only moves forward, and a whole fruitless year falls back to
+  a direct minimum search over bucket heads (the sparse case).
+
+Select it for a whole process with ``REPRO_EVENT_QUEUE=calendar`` or
+per simulator with ``Simulator(queue=CalendarQueue())``.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Optional
+
+__all__ = ["CalendarQueue"]
+
+#: Smallest admissible bucket width; keeps window indices finite and
+#: protects against degenerate all-equal-timestamp resizes.
+_MIN_WIDTH = 1e-9
+
+
+class CalendarQueue:
+    """Bucketed pending-event set, pop-order-identical to the heap."""
+
+    __slots__ = (
+        "_width",
+        "_nbuckets",
+        "_buckets",
+        "_size",
+        "_window",
+        "_grow_at",
+        "_shrink_at",
+    )
+
+    def __init__(self, width: float = 1.0, nbuckets: int = 8):
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width!r}")
+        if nbuckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {nbuckets!r}")
+        self._setup(max(width, _MIN_WIDTH), nbuckets, 0.0)
+
+    def _setup(self, width: float, nbuckets: int, start: float) -> None:
+        self._width = width
+        self._nbuckets = nbuckets
+        self._buckets: list[list] = [[] for _ in range(nbuckets)]
+        self._size = 0
+        #: Absolute window index the dequeue scan resumes from.
+        self._window = int(start / width)
+        # Brown's load thresholds: resizing keeps ~O(1) items/bucket.
+        self._grow_at = 2 * nbuckets
+        self._shrink_at = nbuckets // 2 - 2
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- the queue interface (see HeapEventQueue) ---------------------------
+    def push(self, at: float, seq: int, event) -> None:
+        insort(self._buckets[int(at / self._width) % self._nbuckets], (at, seq, event))
+        self._size += 1
+        if self._size > self._grow_at:
+            self._resize(2 * self._nbuckets)
+
+    def pop(self) -> tuple:
+        if not self._size:
+            raise IndexError("pop from an empty calendar queue")
+        window = self._find()
+        item = self._buckets[window % self._nbuckets].pop(0)
+        self._size -= 1
+        self._window = window
+        if self._size < self._shrink_at:
+            self._resize(self._nbuckets // 2)
+        return item
+
+    def peek_time(self) -> Optional[float]:
+        if not self._size:
+            return None
+        window = self._find()
+        return self._buckets[window % self._nbuckets][0][0]
+
+    # -- internals ----------------------------------------------------------
+    def _find(self) -> int:
+        """Window index of the earliest pending item (size > 0)."""
+        width = self._width
+        nbuckets = self._nbuckets
+        buckets = self._buckets
+        window = self._window
+        for _ in range(nbuckets):
+            items = buckets[window % nbuckets]
+            if items and int(items[0][0] / width) == window:
+                return window
+            window += 1
+        # A whole dry year: the queue is sparse relative to the current
+        # width — locate the global minimum head directly.
+        best = None
+        for items in buckets:
+            if items and (best is None or items[0] < best):
+                best = items[0]
+        return int(best[0] / width)
+
+    def _resize(self, nbuckets: int) -> None:
+        nbuckets = max(2, nbuckets)
+        if nbuckets == self._nbuckets:
+            return
+        items = [item for bucket in self._buckets for item in bucket]
+        if items:
+            ats = [item[0] for item in items]
+            low, span = min(ats), max(ats) - min(ats)
+            # Aim for a few items per bucket-width; an all-equal span
+            # keeps the current width.
+            width = max(span * 3.0 / len(items), _MIN_WIDTH) if span > 0 else self._width
+            start = min(low, self._window * self._width)
+        else:
+            width = self._width
+            start = self._window * self._width
+        self._setup(width, nbuckets, start)
+        for item in items:
+            insort(self._buckets[int(item[0] / self._width) % self._nbuckets], item)
+        self._size = len(items)

@@ -12,14 +12,57 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
     "Event",
+    "HeapEventQueue",
     "Interrupt",
     "SimulationError",
     "Simulator",
 ]
+
+#: Environment variable selecting the event-queue implementation for
+#: simulators constructed without an explicit ``queue`` ("heap" or
+#: "calendar"; see :mod:`repro.sim.calendar`).
+QUEUE_ENV = "REPRO_EVENT_QUEUE"
+
+
+class HeapEventQueue(list):
+    """The default pending-event queue: a binary heap of
+    ``(at, seq, event)`` tuples.
+
+    Subclasses ``list`` so the simulator's hot loop keeps native
+    truthiness/len checks; the three-method interface (``push``,
+    ``pop``, ``peek_time``) is what any alternative queue — e.g. the
+    calendar queue in :mod:`repro.sim.calendar` — must provide, and
+    both must pop in identical ``(at, seq)`` order (a tested contract).
+    """
+
+    __slots__ = ()
+
+    def push(self, at: float, seq: int, event: "Event") -> None:
+        heapq.heappush(self, (at, seq, event))
+
+    def pop(self) -> tuple:
+        return heapq.heappop(self)
+
+    def peek_time(self) -> Optional[float]:
+        return self[0][0] if self else None
+
+
+def _default_queue():
+    choice = os.environ.get(QUEUE_ENV, "heap")
+    if choice == "calendar":
+        from repro.sim.calendar import CalendarQueue
+
+        return CalendarQueue()
+    if choice in ("", "heap"):
+        return HeapEventQueue()
+    raise SimulationError(
+        f"unknown {QUEUE_ENV} value {choice!r}; expected 'heap' or 'calendar'"
+    )
 
 
 class SimulationError(Exception):
@@ -168,9 +211,11 @@ class Simulator:
 
     __slots__ = ("now", "_queue", "_seq", "_active_process", "events_processed")
 
-    def __init__(self):
+    def __init__(self, queue=None):
+        """``queue`` swaps the pending-event container (default: a
+        :class:`HeapEventQueue`, or what ``REPRO_EVENT_QUEUE`` names)."""
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue = queue if queue is not None else _default_queue()
         self._seq = itertools.count()
         self._active_process = None  # set by Process while running
         #: Events processed so far; the wall-clock bench harness divides
@@ -179,7 +224,7 @@ class Simulator:
 
     # -- scheduling primitives ----------------------------------------------
     def _enqueue(self, at: float, event: Event) -> None:
-        heapq.heappush(self._queue, (at, next(self._seq), event))
+        self._queue.push(at, next(self._seq), event)
 
     def event(self) -> Event:
         """Create a fresh, untriggered event."""
@@ -218,13 +263,13 @@ class Simulator:
     # -- execution -----------------------------------------------------------
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or ``None`` if queue empty."""
-        return self._queue[0][0] if self._queue else None
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty queue")
-        at, _seq, event = heapq.heappop(self._queue)
+        at, _seq, event = self._queue.pop()
         self.now = at
         self.events_processed += 1
         event._process()
@@ -237,8 +282,9 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        while queue:
+            if until is not None and queue.peek_time() > until:
                 break
             self.step()
         if until is not None:

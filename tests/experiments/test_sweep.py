@@ -3,11 +3,14 @@
 The executor's contract is that *how* cells run (serial, process pool,
 cache) never changes *what* they produce — these tests pin that down
 with byte-level checksums, plus the satellite regressions: seed
-collisions, prebuilt-runtime validation, and the bench baseline schema
-guard.
+collisions, prebuilt-runtime validation, the persistent worker pool
+(whose absence once made the bench's parallel leg *slower* than
+serial), and the bench baseline schema guard.
 """
 
+import os
 import pickle
+import time
 
 import pytest
 
@@ -30,8 +33,11 @@ from repro.experiments.sweep import (
     results_checksum,
     run_cell,
     run_cells,
+    shutdown_pool,
     sweep_metrics,
+    warm_pool,
 )
+from repro.experiments import sweep as sweep_module
 from repro.experiments.wallclock import load_report, run_scenario
 from repro.metrics import MetricsRegistry
 
@@ -167,6 +173,95 @@ class TestSerialFallback:
         run_cells(_mini_cells(repeats=1), jobs=2, metrics=registry)
         counts = registry.get("sweep_runs_total").as_dict()
         assert counts == {("serial",): 1}
+
+
+class TestPersistentPool:
+    """The worker pool survives across run_cells calls.
+
+    Spinning up a ProcessPoolExecutor per sweep is what lost to serial
+    at 27 cells (parallel_speedup 0.92 in the committed bench): worker
+    spawn plus a cold per-worker compile cache cost more than the
+    grid. The pool is now module-global — reused, grown on demand,
+    pre-warmable before a timed section, and torn down explicitly.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_MIN_CELLS", "0")
+        shutdown_pool()
+        yield
+        shutdown_pool()
+
+    def test_pool_is_reused_across_runs(self):
+        cells = _mini_cells(repeats=1)
+        run_cells(cells, jobs=2)
+        first = sweep_module._POOL
+        assert first is not None
+        run_cells(cells, jobs=2)
+        assert sweep_module._POOL is first
+
+    def test_pool_grows_but_never_shrinks(self):
+        cells = _mini_cells(repeats=2)
+        run_cells(cells, jobs=2)
+        assert sweep_module._POOL_WORKERS == 2
+        grown = run_cells(_mini_cells(repeats=3), jobs=3)
+        assert sweep_module._POOL_WORKERS == 3
+        assert grown.stats.workers == 3
+        shrunk_request = run_cells(cells, jobs=2)
+        assert sweep_module._POOL_WORKERS == 3  # kept, not rebuilt
+        assert shrunk_request.stats.workers == 2
+
+    def test_warm_pool_prespawns_and_reports_workers(self):
+        assert sweep_module._POOL is None
+        assert warm_pool(2) == 2
+        assert sweep_module._POOL is not None
+        assert sweep_module._POOL_WORKERS == 2
+        # Serial resolutions never pay for a pool.
+        shutdown_pool()
+        assert warm_pool(1) == 0
+        assert sweep_module._POOL is None
+
+    def test_shutdown_is_idempotent(self):
+        warm_pool(2)
+        shutdown_pool()
+        assert sweep_module._POOL is None
+        shutdown_pool()
+        assert sweep_module._POOL is None
+
+    def test_pooled_results_identical_to_serial(self):
+        cells = _mini_cells()
+        serial = run_cells(cells, jobs=1)
+        warm_pool(2)
+        pooled = run_cells(cells, jobs=2)
+        assert pooled.stats.mode == "parallel"
+        assert results_checksum(serial.results) == results_checksum(pooled.results)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs at least 2 cores",
+)
+class TestParallelSpeedup:
+    def test_warm_pool_beats_serial_on_a_real_grid(self, monkeypatch):
+        # The regression the persistent pool exists to fix: with the
+        # pool pre-spawned and its workers' compile caches warm, a
+        # parallel sweep of a bench-sized grid must actually be faster
+        # than running the same cells serially.
+        monkeypatch.setenv("REPRO_SWEEP_MIN_CELLS", "0")
+        cells = _mini_cells(repeats=14)  # 28 cells, ~the bench grid
+        serial_start = time.perf_counter()
+        serial = run_cells(cells, jobs=1)
+        serial_wall = time.perf_counter() - serial_start
+        warm_pool(2)
+        parallel_start = time.perf_counter()
+        parallel = run_cells(cells, jobs=2)
+        parallel_wall = time.perf_counter() - parallel_start
+        assert parallel.stats.mode == "parallel"
+        assert results_checksum(serial.results) == results_checksum(parallel.results)
+        assert serial_wall / parallel_wall > 1.0, (
+            f"parallel sweep lost to serial again: "
+            f"{serial_wall:.3f}s serial vs {parallel_wall:.3f}s parallel"
+        )
 
 
 class TestCache:

@@ -1,0 +1,179 @@
+"""Calendar queue vs binary heap: the pending-event-set oracle.
+
+The calendar queue (:class:`repro.sim.calendar.CalendarQueue`) is only
+admissible as a drop-in simulator queue if it pops in *exactly* the
+order the heap does — same-timestamp ties included, where the unique
+``seq`` must break them FIFO. The heap is the oracle: hypothesis
+generates schedules (including interleaved pushes/pops under the
+simulator's time-monotonicity invariant, duplicate timestamps, and
+sparse far-apart times that force the dry-year fallback) and every
+property demands identical ``(at, seq)`` sequences. A full-simulation
+property then runs whole random scenarios under both queues and
+requires identical event counts, logs, and final clocks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CalendarQueue, HeapEventQueue, SimulationError, Simulator
+from repro.sim.engine import QUEUE_ENV
+
+pytestmark = pytest.mark.metrics
+
+_times = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+# Duplicate-heavy times: a small pool guarantees ties.
+_tying_times = st.sampled_from((0.0, 0.5, 0.5, 1.0, 1.0, 1.0, 2.5))
+
+
+def _drain(queue):
+    order = []
+    while queue:
+        order.append(queue.pop()[:2])
+    return order
+
+
+class TestPopOrderOracle:
+    @settings(deadline=None, max_examples=150)
+    @given(times=st.lists(st.one_of(_times, _tying_times), max_size=80))
+    def test_push_all_pop_all_matches_heap(self, times):
+        heap, calendar = HeapEventQueue(), CalendarQueue()
+        for seq, at in enumerate(times):
+            heap.push(at, seq, f"ev{seq}")
+            calendar.push(at, seq, f"ev{seq}")
+        assert len(calendar) == len(heap) == len(times)
+        assert _drain(calendar) == _drain(heap)
+
+    @settings(deadline=None, max_examples=150)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.floats(min_value=0.0, max_value=50.0,
+                                               allow_nan=False)),
+            max_size=80,
+        )
+    )
+    def test_interleaved_ops_match_heap(self, ops):
+        # Pushes use now + delay, pops advance now — the simulator's
+        # monotonicity invariant, under which the calendar's forward
+        # scan is valid. Peek must agree before every pop too.
+        heap, calendar = HeapEventQueue(), CalendarQueue()
+        seq, now = 0, 0.0
+        for is_push, delay in ops:
+            if is_push or not heap:
+                heap.push(now + delay, seq, None)
+                calendar.push(now + delay, seq, None)
+                seq += 1
+            else:
+                assert calendar.peek_time() == heap.peek_time()
+                got, want = calendar.pop(), heap.pop()
+                assert got[:2] == want[:2]
+                now = want[0]
+        assert _drain(calendar) == _drain(heap)
+
+    @settings(deadline=None, max_examples=50)
+    @given(times=st.lists(_times, min_size=1, max_size=200))
+    def test_resize_thresholds_preserve_order(self, times):
+        # 200 pushes into an 8-bucket queue force repeated doublings;
+        # draining it back forces shrinks. Order must survive both.
+        heap, calendar = HeapEventQueue(), CalendarQueue(width=0.5, nbuckets=2)
+        for seq, at in enumerate(times):
+            heap.push(at, seq, None)
+            calendar.push(at, seq, None)
+        assert _drain(calendar) == _drain(heap)
+
+    def test_sparse_schedule_uses_dry_year_fallback(self):
+        # Times thousands of widths apart: the one-year scan finds
+        # nothing and the global-minimum fallback must locate the head.
+        calendar = CalendarQueue(width=1.0, nbuckets=4)
+        for seq, at in enumerate((0.0, 5000.0, 12345.5, 99999.0)):
+            calendar.push(at, seq, None)
+        assert calendar.peek_time() == 0.0
+        popped = [calendar.pop()[0] for _ in range(4)]
+        assert popped == [0.0, 5000.0, 12345.5, 99999.0]
+
+    def test_empty_queue_contract(self):
+        calendar = CalendarQueue()
+        assert not calendar
+        assert len(calendar) == 0
+        assert calendar.peek_time() is None
+        with pytest.raises(IndexError, match="empty calendar queue"):
+            calendar.pop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="width must be positive"):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError, match="at least 2 buckets"):
+            CalendarQueue(nbuckets=1)
+
+
+def _random_scenario(sim, rng_seed, log):
+    """A few dozen timeouts/call_ats with nested mid-run scheduling."""
+    import numpy as np
+
+    rng = np.random.default_rng(rng_seed)
+
+    def fire(tag):
+        log.append((sim.now, tag))
+
+    for index, delay in enumerate(rng.uniform(0.0, 20.0, 30)):
+        if index % 3 == 0:
+            sim.call_at(float(delay), lambda i=index: fire(i))
+        elif index % 3 == 1:
+            sim.call_in(float(delay), lambda i=index: (
+                fire(i), sim.call_in(0.5, lambda i=i: fire((i, "nested")))
+            ))
+        else:
+            event = sim.timeout(float(delay))
+            event.callbacks.append(lambda _ev, i=index: fire(i))
+
+
+class TestFullSimulationEquivalence:
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_same_events_log_and_clock_under_either_queue(self, seed):
+        logs, counts, clocks = [], [], []
+        for queue in (HeapEventQueue(), CalendarQueue()):
+            sim = Simulator(queue=queue)
+            log = []
+            _random_scenario(sim, seed, log)
+            sim.run()
+            logs.append(log)
+            counts.append(sim.events_processed)
+            clocks.append(sim.now)
+        assert logs[0] == logs[1]
+        assert counts[0] == counts[1]
+        assert clocks[0] == clocks[1]
+
+    def test_run_until_is_identical(self):
+        for queue in (HeapEventQueue(), CalendarQueue()):
+            sim = Simulator(queue=queue)
+            log = []
+            _random_scenario(sim, 7, log)
+            sim.run(until=10.0)
+            assert sim.now <= 10.0
+            assert all(t <= 10.0 for t, _ in log)
+
+
+class TestQueueSelection:
+    def test_env_selects_calendar(self, monkeypatch):
+        monkeypatch.setenv(QUEUE_ENV, "calendar")
+        assert isinstance(Simulator()._queue, CalendarQueue)
+
+    def test_env_selects_heap_explicitly_and_by_default(self, monkeypatch):
+        monkeypatch.setenv(QUEUE_ENV, "heap")
+        assert isinstance(Simulator()._queue, HeapEventQueue)
+        monkeypatch.delenv(QUEUE_ENV)
+        assert isinstance(Simulator()._queue, HeapEventQueue)
+
+    def test_unknown_queue_name_is_an_error(self, monkeypatch):
+        monkeypatch.setenv(QUEUE_ENV, "skiplist")
+        with pytest.raises(SimulationError, match="skiplist"):
+            Simulator()
+
+    def test_explicit_queue_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(QUEUE_ENV, "calendar")
+        queue = HeapEventQueue()
+        assert Simulator(queue=queue)._queue is queue
