@@ -177,6 +177,33 @@ def _build_parser() -> argparse.ArgumentParser:
     cohort.add_argument("--json", default=None, metavar="FILE",
                         help="also write the per-cohort summary as JSON")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="shard a client population across a multi-node fleet "
+        "(gossip + two-level placement)",
+    )
+    fleet.add_argument("--nodes", type=int, default=4,
+                       help="complete x86+ARM+FPGA nodes in the fleet")
+    fleet.add_argument("--clients", type=int, default=10_000,
+                       help="total clients across all cohorts")
+    fleet.add_argument("--calls", type=int, default=5,
+                       help="scheduler calls per client")
+    fleet.add_argument("--apps", nargs="+", default=None,
+                       help="applications, one cohort each (default: the "
+                       "paper benchmark set)")
+    fleet.add_argument("--background", type=int, default=20,
+                       help="background processes per node")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--gossip-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="load-digest publication interval (bounds "
+                       "placement staleness)")
+    fleet.add_argument("--faults", action="store_true",
+                       help="generate a per-node fault plan (half the "
+                       "nodes) and arm it against the run")
+    fleet.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the per-node summary as JSON")
+
     metrics = sub.add_parser(
         "metrics",
         help="run an instrumented application set and report p50/p95/p99",
@@ -452,6 +479,113 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.core.cohort import ArrivalLaw, CohortSpec
+    from repro.fleet import FleetConfig, FleetDeployment
+
+    apps = tuple(sorted(set(args.apps or PAPER_BENCHMARKS)))
+    laws = ("uniform", "poisson", "staggered")
+    rng = np.random.default_rng(args.seed)
+    per_app = args.clients // len(apps)
+    specs = []
+    for index, app in enumerate(apps):
+        clients = per_app + (args.clients - per_app * len(apps) if index == 0 else 0)
+        specs.append(
+            CohortSpec(
+                app,
+                clients,
+                calls=args.calls,
+                arrival=ArrivalLaw(
+                    laws[index % len(laws)],
+                    start=float(rng.uniform(0.0, 5.0)),
+                    span=30.0,
+                ),
+                seed=int(rng.integers(2**32)),
+            )
+        )
+
+    fleet = FleetDeployment(
+        FleetConfig(
+            nodes=args.nodes,
+            apps=apps,
+            seed=args.seed,
+            gossip_interval_s=args.gossip_interval,
+        )
+    )
+    fault_plans = None
+    if args.faults:
+        from repro.faults import FleetFaultPlan
+
+        kernels = sorted(
+            {
+                profile_for(app).kernel_name
+                for app in apps
+                if profile_for(app).kernel_name
+            }
+        )
+        fleet_plan = FleetFaultPlan.generate(
+            args.seed, args.nodes, horizon_s=40.0, kernels=kernels
+        )
+        fault_plans = dict(fleet_plan.plans)
+        counts = ", ".join(
+            f"{kind}={count}" for kind, count in fleet_plan.counts_by_kind().items()
+        )
+        print(f"fault plan  : {len(fleet_plan)} faults on "
+              f"{len(fleet_plan.plans)}/{args.nodes} nodes ({counts})")
+    result = fleet.run_cohorts(
+        specs, background=args.background, fault_plans=fault_plans
+    )
+    fleet.stop()
+
+    print(f"nodes       : {args.nodes}")
+    print(f"clients     : {result.clients} in {len(specs)} cohorts")
+    print(f"assigned    : {','.join(str(c) for c in result.assigned_per_node)} "
+          f"(skew {result.assignment_skew()})")
+    print(f"sim events  : {result.sim_events}")
+    print(f"logical     : {result.logical_events} client events")
+    print(f"sim seconds : {result.sim_seconds:.3f} (slowest node)")
+    print(f"gossip      : {fleet.gossip.rounds} rounds every "
+          f"{args.gossip_interval:g}s")
+    if result.fault_fallbacks:
+        print(f"fallbacks   : {result.fault_fallbacks}")
+    for index, node_result in result.node_results:
+        print(f"  node{index}: {node_result.clients} clients, "
+              f"{node_result.logical_events} events, "
+              f"{node_result.sim_seconds:.3f}s, path={node_result.path}")
+    if args.json:
+        payload = {
+            "nodes": args.nodes,
+            "clients": result.clients,
+            "assigned_per_node": result.assigned_per_node,
+            "assignment_skew": result.assignment_skew(),
+            "sim_events": result.sim_events,
+            "logical_events": result.logical_events,
+            "sim_seconds": result.sim_seconds,
+            "gossip_rounds": fleet.gossip.rounds,
+            "fault_fallbacks": result.fault_fallbacks,
+            "per_node": [
+                {
+                    "node": index,
+                    "clients": node_result.clients,
+                    "logical_events": node_result.logical_events,
+                    "sim_seconds": node_result.sim_seconds,
+                    "path": node_result.path,
+                }
+                for index, node_result in result.node_results
+            ],
+            "lines": result.lines(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json        : {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.wallclock import (
         available_scenarios,
@@ -518,6 +652,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "cohort":
         return _cmd_cohort(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -324,18 +324,24 @@ class XarTrekRuntime:
 
     # -- load accounting -----------------------------------------------------
     def load_snapshot(self) -> dict[str, dict[str, float]]:
-        """Per-cluster load aggregates, read in O(1) from the fair-share
-        servers' running integrals (no walk over active job sets).
+        """Per-target load aggregates, read in O(1) from running
+        integrals (no walk over active job sets).
 
-        Keys per cluster: ``value`` (current active jobs), ``min`` /
+        Keys per CPU cluster: ``value`` (current active jobs), ``min`` /
         ``max`` (post-transition extrema), ``time_weighted_mean`` (exact
         over [first submit, now]), ``updates`` (job start/finish
-        transitions). The scale benchmarks report these for thousands of
-        clients without perturbing the hot path.
+        transitions). The ``fpga`` entry carries the same gauge keys for
+        in-flight kernel runs plus ``reconfiguring`` and
+        ``resident_kernels`` (see :meth:`repro.xrt.XRTDevice.load_snapshot`),
+        so load-based placement — including fleet gossip — sees
+        accelerator pressure, not only CPU queues. The scale benchmarks
+        report these for thousands of clients without perturbing the hot
+        path.
         """
         return {
             "x86": self.platform.x86.cpu.load_snapshot(),
             "arm": self.platform.arm.cpu.load_snapshot(),
+            "fpga": self.xrt.load_snapshot(),
         }
 
     def _finish(self, record: RunRecord) -> None:

@@ -217,8 +217,17 @@ class SchedulerServer:
         #: raises it during server_slow windows).
         self._reply_delay_factor = 1.0
         #: Consecutive failed background reconfiguration attempts per
-        #: kernel, bounding the retry chain (reset on success).
+        #: kernel, bounding the retry chain (reset on any successful
+        #: programming outcome and on device-breaker recovery).
         self._reconfig_retries: dict[str, int] = {}
+        if self.resilience is not None:
+            # A kernel that exhausted its background retry budget while
+            # the card was sick must get a fresh budget once the device
+            # breaker closes again, or it would stay background-retry-
+            # disabled for the rest of the run.
+            self.resilience.add_device_recovery_listener(
+                self._reset_reconfig_retries
+            )
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -244,13 +253,19 @@ class SchedulerServer:
         if not self._running:
             return
         self._running = False
+        stopped_generation = self._generation
         self._generation += 1
-        pending = [item for item in self._requests.items if item is not _STOP]
+        pending = [item for item in self._requests.items if item[0] is not _STOP]
         self._requests.items.clear()
         for _app_name, reply in pending:
             self._fail_reply(reply)
-        # Wake the serve loop blocked on get() so it exits promptly.
-        self._requests.put(_STOP)
+        # Wake the serve loop blocked on get() so it exits promptly. The
+        # sentinel is tagged with the generation it targets: a request
+        # handed to the parked getter just before this stop() gets
+        # re-queued *behind* the sentinel by the stale loop, so a
+        # restarted loop will see this sentinel first — it must discard
+        # it (and serve the request) rather than exit on it.
+        self._requests.put((_STOP, stopped_generation))
         self.tracer.record("scheduler", "server stopped")
 
     def _fail_reply(self, reply: Event) -> None:
@@ -265,13 +280,18 @@ class SchedulerServer:
         # loop, M simultaneous clients saw M x the socket latency.
         while True:
             item = yield self._requests.get()
+            if item[0] is _STOP:
+                if item[1] >= generation:
+                    return
+                # A sentinel left over from an older stop/start cycle
+                # (its target loop consumed a re-queued request instead
+                # and exited on the generation check below). Exiting
+                # here would kill the *live* daemon; discard it.
+                continue
             if generation != self._generation:
                 # Superseded (stop/start cycled): hand the item to the
                 # live loop instead of swallowing it.
-                if item is not _STOP:
-                    self._requests.put(item)
-                return
-            if item is _STOP:
+                self._requests.put(item)
                 return
             app_name, reply = item
             self._handle(app_name, reply)
@@ -417,7 +437,11 @@ class SchedulerServer:
                     self.resilience.record_device_failure()
                     self._schedule_reconfig_retry(kernel_name)
             else:
-                self._reconfig_retries.pop(kernel_name, None)
+                # The card just programmed fine, so every kernel's
+                # consecutive-failure streak is over — not only this
+                # one's. Clearing all counters re-arms background
+                # retries for kernels that previously hit the limit.
+                self._reset_reconfig_retries()
                 if self.resilience is not None:
                     self.resilience.record_device_success()
 
@@ -437,7 +461,20 @@ class SchedulerServer:
         if attempts >= config.reconfig_retry_limit:
             return
         self._reconfig_retries[kernel_name] = attempts + 1
-        self.platform.sim.call_in(
-            config.reconfig_retry_backoff_s,
-            lambda: self._maybe_reconfigure(kernel_name),
-        )
+        generation = self._generation
+
+        def retry() -> None:
+            # A retry armed before stop() must not fire into a stopped
+            # (or stop/start-cycled) server: it would call
+            # _maybe_reconfigure and touch XRT on behalf of a daemon
+            # generation that no longer exists. Same guard as _serve.
+            if not self._running or generation != self._generation:
+                return
+            self._maybe_reconfigure(kernel_name)
+
+        self.platform.sim.call_in(config.reconfig_retry_backoff_s, retry)
+
+    def _reset_reconfig_retries(self) -> None:
+        """Re-arm background reconfiguration retries for every kernel
+        (successful programming, or the device breaker closed)."""
+        self._reconfig_retries.clear()

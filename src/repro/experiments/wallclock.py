@@ -387,6 +387,96 @@ def _scenario_cohort_stress(seed: int, quick: bool, ctx: BenchContext):
     return result.logical_events, result.sim_seconds, lines, extra
 
 
+def _scenario_fleet_stress(seed: int, quick: bool, ctx: BenchContext):
+    """Warehouse shape: a 10-node fleet serving 10k+ clients.
+
+    Two legs against one :class:`~repro.fleet.FleetDeployment` (ten
+    complete x86+ARM+FPGA nodes on one simulated clock, gossiping load
+    digests every simulated second):
+
+    * a *per-client* leg on the shared clock — sticky keys with repeat
+      runs, so power-of-two rebalancing on stale gossip deltas and
+      cross-node working-set migration over the inter-node fabric
+      actually fire (the DSM page counters in ``extra`` prove it);
+    * a *cohort* leg — 10k clients sharded across the nodes at
+      assignment time on the quantized stale-load view, then advanced
+      through the vectorized cohort model per node.
+
+    ``quick`` shrinks only the per-client leg; the cohort leg is
+    O(cohorts) and stays full-size so the guarded events/sec figure is
+    comparable with the committed full run. Checksums cover every
+    record line, every per-node cohort line, and the assignment
+    vector, so the scenario doubles as the fleet's replay-determinism
+    tripwire.
+    """
+    from repro.core.cohort import ArrivalLaw, CohortSpec
+    from repro.fleet import FleetConfig, FleetDeployment
+    from repro.workloads import PAPER_BENCHMARKS
+
+    n_nodes = 10
+    n_cohort_clients = 10_000
+    per_client = 40 if quick else 120
+    apps = tuple(sorted(set(PAPER_BENCHMARKS)))
+    fleet = FleetDeployment(FleetConfig(nodes=n_nodes, apps=apps, seed=seed))
+    rng = np.random.default_rng(seed)
+
+    keys = max(1, per_client // 3)
+    handles = []
+    for index in range(per_client):
+        app = apps[int(rng.integers(len(apps)))]
+        handles.append(
+            fleet.launch(
+                app,
+                client=f"client{index % keys}",
+                seed=seed + index,
+                mode=SystemMode.XAR_TREK,
+                calls=2,
+                delay_s=float(rng.uniform(0.0, 20.0)),
+            )
+        )
+    records = fleet.wait_all(handles)
+
+    laws = ("uniform", "poisson", "staggered")
+    per_app = n_cohort_clients // len(apps)
+    specs = []
+    for index, app in enumerate(apps):
+        clients = per_app + (
+            n_cohort_clients - per_app * len(apps) if index == 0 else 0
+        )
+        specs.append(
+            CohortSpec(
+                app,
+                clients,
+                calls=4,
+                arrival=ArrivalLaw(
+                    laws[index % len(laws)],
+                    start=float(rng.uniform(0.0, 5.0)),
+                    span=30.0,
+                ),
+                seed=int(rng.integers(2**32)),
+            )
+        )
+    cohorts = fleet.run_cohorts(specs, background=20)
+    fleet.stop()
+
+    lines = [f"fleet_stress:{n_nodes}:{per_client}:{n_cohort_clients}"]
+    lines.extend(_lines_for_records(records))
+    lines.extend(cohorts.lines())
+    events = fleet.sim.events_processed + cohorts.logical_events
+    sim_seconds = fleet.sim.now + cohorts.sim_seconds
+    extra = {
+        "nodes": n_nodes,
+        "per_client_runs": len(records),
+        "cohort_clients": cohorts.clients,
+        "cohort_assignment_skew": cohorts.assignment_skew(),
+        "gossip_rounds": fleet.gossip.rounds,
+        "cross_node_migrations": fleet.router.cross_node_migrations,
+        "fabric_page_transfers": fleet.dsm.stats.page_transfers,
+        "load_skew": round(fleet.load_skew(), 2),
+    }
+    return events, sim_seconds, lines, extra
+
+
 def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
     """Robustness shape: the scale_stress fleet under a seeded fault plan.
 
@@ -430,6 +520,7 @@ SCENARIOS: dict[str, Callable[..., tuple]] = {
     "scale_stress": _scenario_scale_stress,
     "cohort_stress": _scenario_cohort_stress,
     "chaos_stress": _scenario_chaos_stress,
+    "fleet_stress": _scenario_fleet_stress,
 }
 
 

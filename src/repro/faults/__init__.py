@@ -10,10 +10,13 @@ Layout:
   and fallback policy (:class:`ResiliencePolicy`);
 * :mod:`repro.faults.harness` — the chaos harness
   (:func:`run_chaos`) behind ``repro chaos`` and the
-  ``chaos_stress`` bench scenario.
+  ``chaos_stress`` bench scenario;
+* :mod:`repro.faults.fleet` — per-node fault plans for multi-node
+  fleets (:class:`FleetFaultPlan`), one injector per targeted node.
 """
 
 from repro.faults.cohort import resolve_cohort_faults
+from repro.faults.fleet import FleetFaultPlan, fleet_fault_seeds
 from repro.faults.harness import ChaosReport, default_plan, run_chaos
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultPlanError, FaultSpec
@@ -35,6 +38,8 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
+    "FleetFaultPlan",
+    "fleet_fault_seeds",
     "ResilienceConfig",
     "ResiliencePolicy",
     "default_plan",

@@ -1,0 +1,118 @@
+"""Per-node fault plans for fleet deployments.
+
+A :class:`FleetFaultPlan` maps node index -> :class:`FaultPlan`; arming
+it creates one :class:`FaultInjector` per targeted node's runtime, so
+every existing fault kind works unchanged at fleet scale — a
+``server_outage`` takes one node's scheduler daemon down (and the
+router fails its clients over to healthy nodes at their next routing
+decision), a ``device_crash`` quarantines one node's card through that
+node's own circuit breakers, and so on. Blast radii stay per-node by
+construction: nothing here touches the fleet tier or other nodes.
+
+Plans derive per-node seeds from the same
+``numpy.random.SeedSequence(seed).spawn(n)`` discipline as the fleet's
+platform seeds, so a fleet chaos run replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultPlanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.deployment import FleetDeployment
+
+__all__ = ["FleetFaultPlan", "fleet_fault_seeds"]
+
+
+def fleet_fault_seeds(seed: int, n_nodes: int) -> list[int]:
+    """Per-node fault-plan seeds, independent of the platform seeds
+    (same root, different spawn key)."""
+    children = np.random.SeedSequence([int(seed), 0xFA17]).spawn(n_nodes)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Node index -> that node's :class:`FaultPlan`."""
+
+    plans: Mapping[int, FaultPlan] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        for index, plan in self.plans.items():
+            if not isinstance(index, int) or index < 0:
+                raise FaultPlanError(
+                    f"fleet fault plan keys must be node indexes >= 0, got {index!r}"
+                )
+            if not isinstance(plan, FaultPlan):
+                raise FaultPlanError(
+                    f"node {index}: expected a FaultPlan, got {type(plan).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return sum(len(plan) for plan in self.plans.values())
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for plan in self.plans.values():
+            for kind, count in plan.counts_by_kind().items():
+                counts[kind] = counts.get(kind, 0) + count
+        return dict(sorted(counts.items()))
+
+    def plan_for(self, node_index: int) -> FaultPlan:
+        return self.plans.get(node_index, FaultPlan.empty())
+
+    def arm(self, fleet: "FleetDeployment") -> dict[int, FaultInjector]:
+        """One fresh injector per targeted node; returns them by index."""
+        injectors: dict[int, FaultInjector] = {}
+        for index in sorted(self.plans):
+            if index >= len(fleet.nodes):
+                raise FaultPlanError(
+                    f"fleet fault plan targets node {index}, but the fleet "
+                    f"has only {len(fleet.nodes)} nodes"
+                )
+            injector = FaultInjector(fleet.nodes[index].runtime)
+            injector.arm(self.plans[index])
+            injectors[index] = injector
+        return injectors
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_nodes: int,
+        horizon_s: float,
+        kernels=(),
+        fault_fraction: float = 0.5,
+        **plan_kwargs,
+    ) -> "FleetFaultPlan":
+        """A seeded plan striking ``fault_fraction`` of the nodes.
+
+        The first ``ceil(fault_fraction * n_nodes)`` node indexes each
+        get their own :meth:`FaultPlan.generate` with a
+        SeedSequence-derived seed; extra keyword arguments tune every
+        per-node plan identically (counts, durations, factors).
+        """
+        if not 0.0 < fault_fraction <= 1.0:
+            raise FaultPlanError(
+                f"fault_fraction must be in (0, 1], got {fault_fraction}"
+            )
+        n_faulted = min(n_nodes, max(1, round(n_nodes * fault_fraction)))
+        seeds = fleet_fault_seeds(seed, n_nodes)
+        plans = {
+            index: FaultPlan.generate(
+                seeds[index], horizon_s, kernels=kernels, **plan_kwargs
+            )
+            for index in range(n_faulted)
+        }
+        return cls(plans=plans, seed=int(seed))
+
+    @classmethod
+    def empty(cls) -> "FleetFaultPlan":
+        return cls()

@@ -223,12 +223,14 @@ class CircuitBreaker:
         cooldown_s: float,
         metrics: Optional[MetricsRegistry] = None,
         on_open: Optional[Callable[[str], None]] = None,
+        on_close: Optional[Callable[[str], None]] = None,
     ):
         self._clock = clock
         self._threshold = threshold
         self._cooldown_s = cooldown_s
         self._metrics = metrics
         self._on_open = on_open
+        self._on_close = on_close
         self._states: dict[str, BreakerState] = {}
 
     def _state(self, key: str) -> BreakerState:
@@ -257,8 +259,16 @@ class CircuitBreaker:
 
     def record_success(self, key: str) -> None:
         state = self._states.get(key)
-        if state is not None:
-            state.record_success()
+        if state is None:
+            return
+        was_closed = state.state == BreakerState.CLOSED
+        state.record_success()
+        if not was_closed and self._on_close is not None:
+            # open/half-open -> closed: the target recovered. Listeners
+            # use this to re-arm machinery that was disabled while the
+            # target was quarantined (e.g. the scheduler's background
+            # reconfiguration retry budget).
+            self._on_close(key)
 
     def state_of(self, key: str) -> str:
         state = self._states.get(key)
@@ -304,16 +314,31 @@ class ResiliencePolicy:
             "circuit-breaker trips into the open state",
             labelnames=("target",),
         )
+        self._device_recovery_listeners: list[Callable[[], None]] = []
         self.breaker = CircuitBreaker(
             clock,
             threshold=self.config.breaker_failure_threshold,
             cooldown_s=self.config.breaker_cooldown_s,
             metrics=metrics,
             on_open=self._count_quarantine,
+            on_close=self._on_breaker_close,
         )
 
     def _count_quarantine(self, key: str) -> None:
         self._m_quarantines.labels(target=key).inc()
+
+    def _on_breaker_close(self, key: str) -> None:
+        if key == self.DEVICE_KEY:
+            for listener in self._device_recovery_listeners:
+                listener()
+
+    def add_device_recovery_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` whenever the device breaker closes again
+        (half-open trial success). The scheduler server registers its
+        reconfiguration-retry reset here, so a kernel that exhausted
+        its background retry budget while the card was sick gets a
+        fresh budget once the card is healthy."""
+        self._device_recovery_listeners.append(listener)
 
     # -- counters -----------------------------------------------------------
     def count_retry(self, kernel: str) -> None:

@@ -1,0 +1,69 @@
+"""One fleet node: a full single-node Xar-Trek deployment.
+
+A :class:`FleetNode` wraps an :class:`~repro.core.runtime.XarTrekRuntime`
+(its own x86 + ARM clusters, FPGA card, scheduler daemon, and DSM)
+built on the *shared* fleet simulator, plus the node-level view the
+federated tier needs: a health probe and the :class:`LoadDigest` it
+publishes on the gossip bus. Placement inside the node stays with the
+node's own Algorithm-2 scheduler — the fleet tier only picks *which*
+node a client talks to (two-level placement).
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import XarTrekRuntime
+from repro.fleet.gossip import LoadDigest
+
+__all__ = ["FleetNode"]
+
+
+class FleetNode:
+    """A named, indexed single-node deployment inside a fleet."""
+
+    def __init__(self, index: int, runtime: XarTrekRuntime, seed: int):
+        self.index = index
+        self.name = f"node{index}"
+        self.runtime = runtime
+        #: The SeedSequence-derived seed this node's platform was built
+        #: with; the 1-node differential test rebuilds the reference
+        #: single-node system from exactly this value.
+        self.seed = seed
+
+    # -- convenience accessors --------------------------------------------
+    @property
+    def platform(self):
+        return self.runtime.platform
+
+    @property
+    def server(self):
+        return self.runtime.server
+
+    @property
+    def records(self):
+        return self.runtime.records
+
+    @property
+    def healthy(self) -> bool:
+        """Control-plane liveness: is the node's scheduler daemon up?
+
+        Unlike load (which travels via gossip and is stale), liveness
+        is probed directly — the fleet tier notices an outage at the
+        next routing decision, so failover does not wait for a tick.
+        """
+        return self.runtime.server.running
+
+    def digest(self, now: float) -> LoadDigest:
+        """This node's gossip payload, stamped ``published_at=now``."""
+        snapshot = self.runtime.load_snapshot()
+        return LoadDigest(
+            node=self.name,
+            index=self.index,
+            published_at=now,
+            x86_active=snapshot["x86"]["value"],
+            arm_active=snapshot["arm"]["value"],
+            fpga_active=snapshot["fpga"]["value"],
+            fpga_reconfiguring=bool(snapshot["fpga"]["reconfiguring"]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FleetNode({self.name}, seed={self.seed})"

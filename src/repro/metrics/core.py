@@ -258,6 +258,13 @@ class Gauge(Metric):
         integral = self._integral + self._value * (now - self._last_t)
         return integral / elapsed
 
+    def aggregates(self) -> dict[str, Any]:
+        """Full series view — ``value``/``min``/``max``/
+        ``time_weighted_mean``/``updates`` — for callers that feed a
+        gauge into a load snapshot (e.g. FPGA occupancy)."""
+        self._check_leaf()
+        return self._series_snapshot()
+
     def _series_snapshot(self) -> dict[str, Any]:
         if self._sampler is not None:
             sample = self._sampler()

@@ -11,6 +11,7 @@ from repro.sim.engine import (
     Event,
     HeapEventQueue,
     Interrupt,
+    PeriodicCall,
     SimulationError,
     Simulator,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "Event",
     "HeapEventQueue",
     "Interrupt",
+    "PeriodicCall",
     "Process",
     "RandomStreams",
     "Resource",

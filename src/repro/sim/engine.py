@@ -19,6 +19,7 @@ __all__ = [
     "Event",
     "HeapEventQueue",
     "Interrupt",
+    "PeriodicCall",
     "SimulationError",
     "Simulator",
 ]
@@ -206,6 +207,55 @@ class _Call(Event):
                 callback(self)
 
 
+class PeriodicCall:
+    """A self-rescheduling timer: ``fn()`` every ``interval`` seconds
+    until :meth:`cancel`.
+
+    Each tick arms exactly one :class:`_Call` for the next one, so a
+    live timer keeps the queue non-empty — callers that own one must
+    :meth:`cancel` it before expecting :meth:`Simulator.run` to drain
+    (e.g. a fleet's gossip tick is cancelled by ``stop()``).
+    ``fn`` runs *before* the next tick is armed; if it raises, the chain
+    stops (nothing is rescheduled).
+    """
+
+    __slots__ = ("sim", "interval", "fn", "ticks", "_cancelled")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        fn: Callable[[], Any],
+        first_at: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise SimulationError(f"non-positive period {interval!r}")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.ticks = 0
+        self._cancelled = False
+        start = sim.now + interval if first_at is None else first_at
+        sim.call_at(start, self._tick)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Stop ticking. The already-armed next tick becomes a no-op
+        (its heap entry fires but does nothing)."""
+        self._cancelled = True
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self.ticks += 1
+        self.fn()
+        if not self._cancelled:  # fn() may have cancelled us
+            self.sim.call_in(self.interval, self._tick)
+
+
 class Simulator:
     """The event loop: owns simulated time and the pending-event queue."""
 
@@ -243,6 +293,17 @@ class Simulator:
     def call_in(self, delay: float, fn: Callable[[], Any]) -> Event:
         """Run ``fn`` after ``delay`` simulated seconds."""
         return _Call(self, delay, fn)
+
+    def call_every(
+        self,
+        interval: float,
+        fn: Callable[[], Any],
+        first_at: Optional[float] = None,
+    ) -> PeriodicCall:
+        """Run ``fn`` every ``interval`` seconds (first tick at
+        ``first_at``, default ``now + interval``) until the returned
+        :class:`PeriodicCall` is cancelled."""
+        return PeriodicCall(self, interval, fn, first_at=first_at)
 
     def spawn(self, generator) -> "Process":
         """Start a new process from a generator (see :mod:`.process`)."""

@@ -184,6 +184,23 @@ class XRTDevice:
         (successfully or not); immediate when none is in flight."""
         return self.fpga.settled()
 
+    def load_snapshot(self) -> dict[str, float]:
+        """O(1) gauge-shaped occupancy aggregates for the card, the
+        accelerator analogue of ``CPUCluster.load_snapshot`` — so
+        load-based placement (node-local or fleet gossip) is not blind
+        to FPGA pressure.
+
+        On top of the occupancy-gauge keys (``value`` = in-flight
+        kernel runs, ``min``/``max``, ``time_weighted_mean``,
+        ``updates``) it reports ``reconfiguring`` (1.0 while a
+        programming pass is in flight — new runs queue behind it) and
+        ``resident_kernels`` (CUs usable on the configured image).
+        """
+        snapshot = dict(self._m_occupancy.aggregates())
+        snapshot["reconfiguring"] = 1.0 if self.reconfiguring else 0.0
+        snapshot["resident_kernels"] = float(len(self.fpga.available_kernels))
+        return snapshot
+
     # -- buffers -----------------------------------------------------------
     def alloc_buffer(self, nbytes: int) -> Buffer:
         if nbytes < 0:

@@ -1,0 +1,80 @@
+"""The 1-node fleet == single-node runtime differential oracle.
+
+Same pattern as the cohort oracle: the fleet tier (router RNG, gossip
+ticks, fabric DSM) must add *zero* simulated time and *zero* RNG
+perturbation to what happens inside a node, so a 1-node fleet is bit-
+identical to the plain :class:`XarTrekRuntime` built from the same
+derived seed — on both the per-client path and the sharded cohort path.
+"""
+
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.core.cohort import ArrivalLaw, CohortSpec
+from repro.fleet import FleetConfig, FleetDeployment, node_seeds
+
+pytestmark = pytest.mark.metrics
+
+APPS = ("digit.2000", "facedet.320")
+
+
+def _lines(records):
+    targets = lambda r: "/".join(str(t) for t in r.targets)  # noqa: E731
+    return [
+        f"{r.app},{r.start_s!r},{r.end_s!r},{r.calls_completed},"
+        f"{r.migrations},{targets(r)}"
+        for r in records
+    ]
+
+
+def _launch_all(target, fleet_style):
+    handles = []
+    for i in range(10):
+        app = APPS[i % len(APPS)]
+        kwargs = dict(seed=100 + i, mode=SystemMode.XAR_TREK, calls=3,
+                      delay_s=0.4 * i)
+        if fleet_style:
+            handles.append(target.launch(app, client=f"c{i % 4}", **kwargs))
+        else:
+            handles.append(target.launch(app, **kwargs))
+    return target.wait_all(handles)
+
+
+def _specs():
+    return [
+        CohortSpec(
+            "digit.2000", 90, calls=3,
+            arrival=ArrivalLaw("uniform", start=0.0, span=10.0), seed=21,
+        ),
+        CohortSpec(
+            "facedet.320", 60, calls=2,
+            arrival=ArrivalLaw("poisson", start=1.0, span=8.0), seed=22,
+        ),
+    ]
+
+
+class TestOneNodeFleetEquivalence:
+    def test_per_client_path_is_bit_identical(self):
+        fleet = FleetDeployment(FleetConfig(nodes=1, apps=APPS, seed=11))
+        fleet_records = _launch_all(fleet, fleet_style=True)
+        fleet.stop()
+
+        reference = build_system(APPS, seed=node_seeds(11, 1)[0])
+        reference_records = _launch_all(reference, fleet_style=False)
+
+        assert _lines(fleet_records) == _lines(reference_records)
+
+    def test_cohort_path_is_bit_identical(self):
+        fleet = FleetDeployment(FleetConfig(nodes=1, apps=APPS, seed=11))
+        fleet_result = fleet.run_cohorts(_specs(), background=20)
+        fleet.stop()
+
+        reference = build_system(APPS, seed=node_seeds(11, 1)[0])
+        reference_result = reference.run_cohorts(_specs(), background=20)
+
+        assert fleet_result.clients == reference_result.clients == 150
+        [(index, node_result)] = fleet_result.node_results
+        assert index == 0
+        assert node_result.lines() == reference_result.lines()
+        # All clients landed on the only node, with no p2c draws burned.
+        assert fleet_result.assigned_per_node == [150]

@@ -1,0 +1,89 @@
+"""The gossip plane: round-0 publish, periodic refresh, bounded
+staleness, and the load-digest score model."""
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetDeployment, GossipError, LoadDigest
+from repro.fleet.gossip import RECONFIGURING_PENALTY, GossipBus
+from repro.metrics import MetricsRegistry
+from repro.sim import Simulator
+
+pytestmark = pytest.mark.metrics
+
+APPS = ("digit.2000",)
+
+
+def _digest(**overrides):
+    base = dict(
+        node="node0",
+        index=0,
+        published_at=0.0,
+        x86_active=0.0,
+        arm_active=0.0,
+        fpga_active=0.0,
+        fpga_reconfiguring=False,
+    )
+    base.update(overrides)
+    return LoadDigest(**base)
+
+
+class TestLoadDigest:
+    def test_score_sums_all_three_targets(self):
+        digest = _digest(x86_active=2.0, arm_active=1.0, fpga_active=3.0)
+        assert digest.score == 6.0
+
+    def test_reconfiguring_card_is_penalized(self):
+        busy = _digest(fpga_reconfiguring=True)
+        assert busy.score == RECONFIGURING_PENALTY
+        assert _digest().score == 0.0
+
+
+class TestGossipBus:
+    def test_reading_before_round_zero_raises(self):
+        sim = Simulator()
+        bus = GossipBus(sim, [], 1.0, MetricsRegistry(clock=lambda: sim.now))
+        with pytest.raises(GossipError, match="start"):
+            bus.digest(0)
+
+    def test_interval_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(GossipError, match="positive"):
+            GossipBus(sim, [], 0.0, MetricsRegistry(clock=lambda: sim.now))
+
+    def test_round_zero_publishes_immediately(self):
+        fleet = FleetDeployment(FleetConfig(nodes=2, apps=APPS, seed=9))
+        assert fleet.gossip.rounds == 1
+        for node in fleet.nodes:
+            digest = fleet.gossip.digest(node.index)
+            assert digest.published_at == 0.0
+            assert digest.node == node.name
+
+    def test_rounds_tick_on_the_shared_clock(self):
+        fleet = FleetDeployment(
+            FleetConfig(nodes=2, apps=APPS, seed=9, gossip_interval_s=0.5)
+        )
+        fleet.sim.run(until=2.1)
+        fleet.stop()
+        assert fleet.gossip.rounds == 1 + 4  # round 0 + ticks at .5s steps
+
+    def test_staleness_is_bounded_by_the_interval(self):
+        interval = 0.5
+        fleet = FleetDeployment(
+            FleetConfig(nodes=2, apps=APPS, seed=9, gossip_interval_s=interval)
+        )
+        fleet.sim.run(until=1.3)  # between ticks, on purpose
+        for node in fleet.nodes:
+            digest = fleet.gossip.digest(node.index)
+            staleness = fleet.gossip.observe_staleness(digest)
+            assert 0.0 <= staleness < interval
+        histogram = fleet.metrics.get("fleet_gossip_staleness_seconds")
+        assert histogram.count == 2
+        fleet.stop()
+
+    def test_skew_tracks_published_imbalance(self):
+        fleet = FleetDeployment(FleetConfig(nodes=2, apps=APPS, seed=9))
+        assert fleet.load_skew() == 0.0
+        fleet.nodes[0].runtime.launch_background(10)
+        fleet.sim.run(until=1.1)  # one refresh after the load landed
+        fleet.stop()
+        assert fleet.load_skew() >= 10.0

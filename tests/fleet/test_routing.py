@@ -1,0 +1,89 @@
+"""Router outcomes: initial, sticky, rebalance, failover — and the DSM
+accounting behind cross-node migrations."""
+
+import pytest
+
+from repro.fleet import FleetConfig, FleetDeployment, RouteOutcome
+
+pytestmark = pytest.mark.metrics
+
+APPS = ("digit.2000",)
+
+
+@pytest.fixture
+def fleet():
+    return FleetDeployment(FleetConfig(nodes=3, apps=APPS, seed=3))
+
+
+class TestOutcomes:
+    def test_first_contact_is_initial_then_sticky(self, fleet):
+        node, outcome = fleet.router.route("alice", "digit.2000")
+        assert outcome == RouteOutcome.INITIAL
+        again, outcome = fleet.router.route("alice", "digit.2000")
+        assert outcome == RouteOutcome.STICKY
+        assert again is node
+
+    def test_outage_forces_failover_to_a_healthy_node(self, fleet):
+        node, _ = fleet.router.route("bob", "digit.2000")
+        node.server.stop()
+        assert not node.healthy
+        target, outcome = fleet.router.route("bob", "digit.2000")
+        assert outcome == RouteOutcome.FAILOVER
+        assert target is not node and target.healthy
+        # The move shipped the client's working set over the fabric.
+        assert fleet.router.cross_node_migrations == 1
+        assert fleet.dsm.stats.page_transfers > 0
+        assert fleet.router.migration_bytes > 0
+
+    def test_gossip_delta_rebalances_an_overloaded_node(self, fleet):
+        node, _ = fleet.router.route("carol", "digit.2000")
+        # Pile load onto carol's node, then let a gossip round publish
+        # the imbalance (the router only ever sees the stale digests).
+        node.runtime.launch_background(40)
+        fleet.sim.run(until=fleet.config.gossip_interval_s + 0.1)
+        target, outcome = fleet.router.route("carol", "digit.2000")
+        assert outcome == RouteOutcome.REBALANCE
+        assert target is not node
+        assert fleet.router.cross_node_migrations == 1
+
+    def test_balanced_fleet_stays_sticky(self, fleet):
+        node, _ = fleet.router.route("dave", "digit.2000")
+        fleet.sim.run(until=fleet.config.gossip_interval_s + 0.1)
+        target, outcome = fleet.router.route("dave", "digit.2000")
+        assert outcome == RouteOutcome.STICKY
+        assert target is node
+        assert fleet.router.cross_node_migrations == 0
+
+    def test_total_outage_degrades_instead_of_crashing(self, fleet):
+        for node in fleet.nodes:
+            node.server.stop()
+        node, _outcome = fleet.router.route("erin", "digit.2000")
+        assert node in fleet.nodes  # a node is still picked; its
+        # scheduler raises SchedulerUnavailable and the client takes
+        # the local x86 fallback, same as the single-node degradation.
+
+
+class TestAccounting:
+    def test_working_set_is_seeded_once_and_moves_wholesale(self, fleet):
+        node, _ = fleet.router.route("frank", "digit.2000")
+        node.server.stop()
+        fleet.router.route("frank", "digit.2000")
+        first_pages = fleet.dsm.stats.page_transfers
+        first_bytes = fleet.router.migration_bytes
+        # A second migration of the same client moves the same range:
+        # equal page count again, no re-seeding traffic.
+        survivor = fleet.nodes[fleet.router.assignments["frank"]]
+        survivor.server.stop()
+        fleet.router.route("frank", "digit.2000")
+        assert fleet.dsm.stats.page_transfers == 2 * first_pages
+        assert fleet.router.migration_bytes == 2 * first_bytes
+
+    def test_assigned_counts_follow_moves(self, fleet):
+        node, _ = fleet.router.route("grace", "digit.2000")
+        counts = fleet.router.clients_per_node()
+        assert counts[node.index] == 1 and sum(counts) == 1
+        node.server.stop()
+        target, _ = fleet.router.route("grace", "digit.2000")
+        counts = fleet.router.clients_per_node()
+        assert counts[node.index] == 0
+        assert counts[target.index] == 1

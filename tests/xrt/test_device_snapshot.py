@@ -1,0 +1,69 @@
+"""FPGA occupancy in load snapshots (the gossip bugfix).
+
+``XarTrekRuntime.load_snapshot`` used to report only the two CPU
+clusters, so any load-based placement built on it — the fleet gossip
+digests above all — was blind to accelerator pressure. These tests pin
+the ``fpga`` view: the occupancy-gauge aggregates from the device's
+``fpga_active_runs`` accounting plus the ``reconfiguring`` /
+``resident_kernels`` extras.
+"""
+
+import pytest
+
+from repro.core import build_system
+
+pytestmark = pytest.mark.metrics
+
+GAUGE_KEYS = {"value", "min", "max", "time_weighted_mean", "updates"}
+
+
+@pytest.fixture
+def runtime():
+    return build_system(["digit.2000"])
+
+
+class TestDeviceLoadSnapshot:
+    def test_idle_card_shape(self, runtime):
+        snapshot = runtime.xrt.load_snapshot()
+        assert GAUGE_KEYS | {"reconfiguring", "resident_kernels"} == set(snapshot)
+        assert snapshot["value"] == 0.0
+        assert snapshot["reconfiguring"] == 0.0
+        assert snapshot["resident_kernels"] == 0.0  # nothing programmed yet
+
+    def test_in_flight_runs_are_visible(self, runtime):
+        sim = runtime.platform.sim
+        kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
+        sim.run_until_event(runtime.preload_fpga())
+        assert runtime.xrt.load_snapshot()["resident_kernels"] >= 1.0
+        done = runtime.xrt.run_kernel(kernel, bytes_in=1024, bytes_out=64)
+        assert runtime.xrt.load_snapshot()["value"] == 1.0
+        sim.run_until_event(done)
+        snapshot = runtime.xrt.load_snapshot()
+        assert snapshot["value"] == 0.0
+        assert snapshot["max"] == 1.0
+        assert snapshot["updates"] >= 2  # start + finish transitions
+
+    def test_reconfiguring_flag_tracks_the_programming_pass(self, runtime):
+        sim = runtime.platform.sim
+        done = runtime.preload_fpga()
+        assert runtime.xrt.load_snapshot()["reconfiguring"] == 1.0
+        sim.run_until_event(done)
+        assert runtime.xrt.load_snapshot()["reconfiguring"] == 0.0
+
+
+class TestRuntimeLoadSnapshot:
+    def test_reports_all_three_targets(self, runtime):
+        snapshot = runtime.load_snapshot()
+        assert set(snapshot) == {"x86", "arm", "fpga"}
+        for cluster in ("x86", "arm"):
+            assert GAUGE_KEYS <= set(snapshot[cluster])
+        assert snapshot["fpga"] == runtime.xrt.load_snapshot()
+
+    def test_fpga_pressure_reaches_the_runtime_view(self, runtime):
+        sim = runtime.platform.sim
+        kernel = runtime.result.thresholds.entry("digit.2000").kernel_name
+        sim.run_until_event(runtime.preload_fpga())
+        done = runtime.xrt.run_kernel(kernel, bytes_in=1024, bytes_out=64)
+        assert runtime.load_snapshot()["fpga"]["value"] == 1.0
+        sim.run_until_event(done)
+        assert runtime.load_snapshot()["fpga"]["value"] == 0.0
