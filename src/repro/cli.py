@@ -136,6 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="allowed events/sec drop vs --guard "
                        "(default: 0.30)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run each scenario under cProfile; the top "
+                       "cumulative-time functions land in the report's "
+                       "per-scenario extra (numbers are for attribution, "
+                       "not speed — incompatible with --guard)")
+    bench.add_argument("--profile-out", default=None, metavar="DIR",
+                       help="with --profile, dump raw <scenario>.pstats "
+                       "files here for pstats/snakeviz drill-down")
     _add_sweep_flags(bench)
 
     chaos = sub.add_parser(
@@ -597,6 +605,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name in available_scenarios():
             print(name)
         return 0
+    if args.profile and args.guard:
+        print("bench: --profile inflates wall clocks several-fold; "
+              "refusing to apply the events/sec guard to profiled numbers")
+        return 2
+    if args.profile_out and not args.profile:
+        print("bench: --profile-out requires --profile")
+        return 2
     jobs, cache = _sweep_options(args)
     report = run_bench(
         scenarios=args.scenarios,
@@ -605,6 +620,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline=args.baseline,
         jobs=jobs,
         cache_dir=cache,
+        profile=args.profile,
+        profile_out=args.profile_out,
     )
     print(report.to_text())
     if args.json and args.json != "-":

@@ -46,6 +46,9 @@ class ThresholdUpdater:
             raise ValueError(f"increase_step must be positive, got {increase_step}")
         self.increase_step = increase_step
         self._outcomes = None
+        #: outcome -> bound counter child; one Algorithm 1 pass runs per
+        #: completed call, so the label lookup is memoized.
+        self._outcome_children: dict[str, object] = {}
         if metrics is not None:
             self._outcomes = metrics.counter(
                 "threshold_updates_total",
@@ -98,5 +101,10 @@ class ThresholdUpdater:
         # above used the *previous* observation, as in the paper).
         entry.record(target, exec_seconds)
         if self._outcomes is not None:
-            self._outcomes.labels(outcome=outcome).inc()
+            child = self._outcome_children.get(outcome)
+            if child is None:
+                child = self._outcome_children[outcome] = self._outcomes.labels(
+                    outcome=outcome
+                )
+            child.inc()
         return outcome

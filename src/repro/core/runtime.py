@@ -267,7 +267,7 @@ class XarTrekRuntime:
             inner.defused = True
             inner.callbacks.append(forward)
 
-        self.platform.sim.call_in(delay_s, kick)
+        self.platform.sim.defer(delay_s, kick)
         return done
 
     def run_cohorts(

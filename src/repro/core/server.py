@@ -315,12 +315,9 @@ class SchedulerServer:
                 self._fail_reply(reply)
                 return
             decision = self._decide(app_name)
-            sim.call_in(
-                self.socket_latency_s * self._reply_delay_factor,
-                lambda: send_reply(decision),
-            )
+            sim.defer(self.socket_latency_s * self._reply_delay_factor, send_reply, decision)
 
-        sim.call_in(latency, decide_and_reply)
+        sim.defer(latency, decide_and_reply)
 
     # -- client API ------------------------------------------------------------
     def request(self, app_name: str) -> Event:
@@ -344,7 +341,7 @@ class SchedulerServer:
                 self._roundtrip.observe(sim.now - enqueued_at)
 
         reply.callbacks.append(observe)
-        self._requests.put((app_name, reply))
+        self._requests.offer((app_name, reply))
         return reply
 
     def set_reply_delay_factor(self, factor: float) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform as _platform
 import sys
 import tempfile
@@ -219,7 +220,16 @@ def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
             repeats=repeats, seed=seed,
         )
     ]
-    jobs = resolve_jobs(ctx.jobs)
+    # The parallel leg exists to measure pool dispatch, so it must not
+    # inherit the library's conservative serial default (jobs=1). With
+    # no explicit --jobs and no REPRO_SWEEP_JOBS, fan out across every
+    # CPU — and keep a two-worker floor so the pool path is exercised
+    # (and its dispatch overhead measured honestly) even on a one-core
+    # host, where parallel_speedup <= 1.0 is the expected outcome.
+    if ctx.jobs is None and os.environ.get("REPRO_SWEEP_JOBS") is None:
+        jobs = max(2, resolve_jobs("auto"))
+    else:
+        jobs = max(2, resolve_jobs(ctx.jobs))
 
     started = time.perf_counter()
     serial = run_cells(cells, jobs=1)
@@ -232,11 +242,14 @@ def _scenario_report_sweep(seed: int, quick: bool, ctx: BenchContext):
 
     with tempfile.TemporaryDirectory() as tmp:
         cache = SweepCache(ctx.cache_dir or tmp)
+        # min_cells=2: the startup cost parallel_threshold guards
+        # against was just paid by warm_pool, so the 27-cell grid must
+        # actually use the pool instead of silently falling back.
         started = time.perf_counter()
-        parallel = run_cells(cells, jobs=jobs, cache=cache)
+        parallel = run_cells(cells, jobs=jobs, cache=cache, min_cells=2)
         parallel_wall = time.perf_counter() - started
         started = time.perf_counter()
-        warm = run_cells(cells, jobs=jobs, cache=cache)
+        warm = run_cells(cells, jobs=jobs, cache=cache, min_cells=2)
         warm_wall = time.perf_counter() - started
 
     serial_sum = results_checksum(serial.results)
@@ -283,10 +296,36 @@ def _scenario_scale_stress(seed: int, quick: bool, ctx: BenchContext):
     load-accounting hot paths — the headline number is events/sec at
     scale, guarded in CI against regressions.
     """
-    from repro.workloads import PAPER_BENCHMARKS
-
     n_clients = 250 if quick else 1000
     background = 25 if quick else 50
+    runtime, records = _scale_workload(seed, n_clients, background)
+    sim = runtime.platform.sim
+    lines = [f"scale_stress:{n_clients}:{background}"]
+    lines.extend(_lines_for_records(records))
+    snapshot = runtime.load_snapshot()
+    dsm_stats = runtime.dsm.stats if runtime.dsm is not None else None
+    extra = {
+        "clients": n_clients,
+        "background": background,
+        "migrations": sum(rec.migrations for rec in records),
+        "dsm_page_transfers": dsm_stats.page_transfers if dsm_stats else 0,
+        "x86_mean_load": round(snapshot["x86"]["time_weighted_mean"], 2),
+        "x86_max_load": snapshot["x86"]["max"],
+    }
+    if not quick:
+        # Deferred (runs after the timed window — see run_scenario):
+        # the queue-implementation head-to-head backing DEFAULT_QUEUE.
+        extra["queue_eval"] = lambda: _queue_eval(seed)
+    return sim.events_processed, sim.now, lines, extra
+
+
+def _scale_workload(seed: int, n_clients: int, background: int):
+    """The scale_stress workload body: N staggered XAR_TREK clients over
+    the full benchmark pool on one deployment. Returns (runtime,
+    records); shared by the timed scenario and the queue head-to-head.
+    """
+    from repro.workloads import PAPER_BENCHMARKS
+
     pool = tuple(PAPER_BENCHMARKS)
     rng = np.random.default_rng(seed)
     runtime = build_system(sorted(set(pool)), seed=seed)
@@ -306,20 +345,45 @@ def _scenario_scale_stress(seed: int, quick: bool, ctx: BenchContext):
         )
     records = runtime.wait_all(handles)
     load.stop()
-    sim = runtime.platform.sim
-    lines = [f"scale_stress:{n_clients}:{background}"]
-    lines.extend(_lines_for_records(records))
-    snapshot = runtime.load_snapshot()
-    dsm_stats = runtime.dsm.stats if runtime.dsm is not None else None
-    extra = {
+    return runtime, records
+
+
+def _queue_eval(seed: int, n_clients: int = 250, background: int = 25) -> dict:
+    """Head-to-head: the quick scale_stress shape under each pending-
+    event queue implementation.
+
+    This is the standing evaluation behind
+    :data:`repro.sim.engine.DEFAULT_QUEUE`: every full bench re-runs
+    it and records both walls, the winner, and whether the two queues
+    produced byte-identical run records (they must — popping in
+    identical ``(at, seq)`` order is a tested contract). If the
+    calendar queue starts winning here, flip DEFAULT_QUEUE.
+    """
+    from repro.sim.engine import DEFAULT_QUEUE, QUEUE_ENV
+
+    walls: dict[str, float] = {}
+    lines: dict[str, list[str]] = {}
+    for queue in ("heap", "calendar"):
+        previous = os.environ.get(QUEUE_ENV)
+        os.environ[QUEUE_ENV] = queue
+        try:
+            started = time.perf_counter()
+            _runtime, records = _scale_workload(seed, n_clients, background)
+            walls[queue] = round(time.perf_counter() - started, 6)
+            lines[queue] = _lines_for_records(records)
+        finally:
+            if previous is None:
+                os.environ.pop(QUEUE_ENV, None)
+            else:
+                os.environ[QUEUE_ENV] = previous
+    return {
         "clients": n_clients,
-        "background": background,
-        "migrations": sum(rec.migrations for rec in records),
-        "dsm_page_transfers": dsm_stats.page_transfers if dsm_stats else 0,
-        "x86_mean_load": round(snapshot["x86"]["time_weighted_mean"], 2),
-        "x86_max_load": snapshot["x86"]["max"],
+        "heap_wall_s": walls["heap"],
+        "calendar_wall_s": walls["calendar"],
+        "winner": min(walls, key=walls.get),
+        "default": DEFAULT_QUEUE,
+        "identical_outcomes": lines["heap"] == lines["calendar"],
     }
-    return sim.events_processed, sim.now, lines, extra
 
 
 def _scenario_cohort_stress(seed: int, quick: bool, ctx: BenchContext):
@@ -486,8 +550,14 @@ def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
     run. The harness runs the identical workload fault-free first and
     diffs outcomes client by client; the acceptance bar is 100%
     completion with zero result mismatches — fallbacks to x86 are the
-    *mechanism*, not a failure. The headline rate is the chaos leg's
-    events/sec (resilience machinery must stay off the hot path).
+    *mechanism*, not a failure.
+
+    The bench wall clock covers *both* legs (the fault-free
+    differential baseline and the chaos leg), so the event count sums
+    both simulators too. Earlier revisions counted only the chaos
+    leg's events against the two-leg wall, which made chaos_stress
+    look ~2x slower than scale_stress before any fault fired; the
+    per-leg split stays visible in ``extra``.
     """
     from repro.faults import default_plan, run_chaos
 
@@ -506,8 +576,12 @@ def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
         "quarantines": report.quarantines,
         "goodput": round(report.goodput, 4),
         "completion_rate": report.completion_rate,
+        "chaos_leg_events": report.events,
+        "baseline_leg_events": report.baseline_events,
     }
-    return report.events, report.sim_seconds, report.lines, extra
+    events = report.events + report.baseline_events
+    sim_seconds = report.sim_seconds + report.baseline_sim_seconds
+    return events, sim_seconds, report.lines, extra
 
 
 #: name -> callable(seed, quick, ctx) ->
@@ -641,14 +715,59 @@ class BenchReport:
         return "\n".join(lines)
 
 
+#: Rows of the per-scenario hot-function table in profiling mode.
+_PROFILE_TOP_N = 15
+
+
+def _profile_table(profiler) -> list[dict]:
+    """Top cumulative-time rows of a finished cProfile run.
+
+    Rows are ``{"function", "ncalls", "tottime_s", "cumtime_s"}``
+    sorted by cumulative time — the same view ``pstats`` prints, but
+    JSON-serializable so it can ride in a scenario's ``extra``.
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        short = filename
+        marker = "/repro/"
+        cut = short.rfind(marker)
+        if cut != -1:
+            short = short[cut + 1 :]
+        rows.append(
+            {
+                "function": f"{short}:{lineno}({func})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: row["cumtime_s"], reverse=True)
+    return rows[:_PROFILE_TOP_N]
+
+
 def run_scenario(
     name: str,
     seed: int = 0,
     quick: bool = False,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    profile: bool = False,
+    profile_out: Optional[str] = None,
 ) -> ScenarioResult:
-    """Time one named scenario; see :data:`SCENARIOS`."""
+    """Time one named scenario; see :data:`SCENARIOS`.
+
+    With ``profile=True`` the scenario runs under :mod:`cProfile`: the
+    top cumulative-time functions land in ``extra["profile"]`` and,
+    when ``profile_out`` names a directory, the raw stats are dumped to
+    ``<profile_out>/<name>.pstats`` for ``pstats``/``snakeviz``-style
+    drill-down. Profiling slows the run several-fold, so profiled wall
+    clocks and events/sec are for *relative* attribution only — never
+    compare them against an unprofiled baseline or feed them to the
+    events/sec guard.
+    """
     try:
         fn = SCENARIOS[name]
     except KeyError:
@@ -656,11 +775,38 @@ def run_scenario(
             f"unknown bench scenario {name!r}; pick from {sorted(SCENARIOS)}"
         ) from None
     ctx = BenchContext(jobs=resolve_jobs(jobs), cache_dir=cache_dir)
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     started = time.perf_counter()
-    outcome = fn(seed, quick, ctx)
+    if profiler is not None:
+        profiler.enable()
+    try:
+        outcome = fn(seed, quick, ctx)
+    finally:
+        if profiler is not None:
+            profiler.disable()
     wall_s = time.perf_counter() - started
     events, sim_seconds, lines = outcome[:3]
     extra = outcome[3] if len(outcome) > 3 else {}
+    # Deferred extras: a scenario that wants side measurements which
+    # must NOT bill to its own timed window (e.g. scale_stress's
+    # queue-implementation head-to-head) returns a zero-arg callable;
+    # it runs here, after the clock stopped, and its result replaces
+    # the callable in the payload.
+    for key, value in list(extra.items()):
+        if callable(value):
+            extra[key] = value()
+    if profiler is not None:
+        extra = dict(extra)
+        extra["profile"] = _profile_table(profiler)
+        if profile_out:
+            os.makedirs(profile_out, exist_ok=True)
+            dump_path = os.path.join(profile_out, f"{name}.pstats")
+            profiler.dump_stats(dump_path)
+            extra["profile_stats_path"] = dump_path
     return ScenarioResult(
         name=name,
         wall_s=wall_s,
@@ -734,13 +880,28 @@ def run_bench(
     baseline: Optional[str] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    profile: bool = False,
+    profile_out: Optional[str] = None,
 ) -> BenchReport:
-    """Run the named scenarios (default: all) and collect a report."""
+    """Run the named scenarios (default: all) and collect a report.
+
+    ``profile``/``profile_out`` run every scenario under cProfile (see
+    :func:`run_scenario`); the numbers then measure *where time goes*,
+    not how fast the simulator is.
+    """
     report = BenchReport(seed=seed, quick=quick)
     if baseline:
         report.baseline_wall_s = load_report(baseline)
     for name in scenarios or available_scenarios():
         report.results.append(
-            run_scenario(name, seed=seed, quick=quick, jobs=jobs, cache_dir=cache_dir)
+            run_scenario(
+                name,
+                seed=seed,
+                quick=quick,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                profile=profile,
+                profile_out=profile_out,
+            )
         )
     return report

@@ -76,6 +76,12 @@ class ChaosReport:
     wall_s: float
     #: Checksum lines for the chaos leg (bench-scenario format).
     lines: list[str] = field(default_factory=list)
+    #: The fault-free differential leg's simulator totals. ``events``/
+    #: ``wall_s`` describe the chaos leg alone; callers that time the
+    #: whole harness run (both legs) must add these in, or the reported
+    #: events/sec undercounts by roughly half.
+    baseline_events: int = 0
+    baseline_sim_seconds: float = 0.0
 
     @property
     def completion_rate(self) -> float:
@@ -214,7 +220,8 @@ def run_chaos(
         _QUICK_BACKGROUND if quick else _FULL_BACKGROUND
     )
 
-    _baseline_rt, baseline = _run_workload(seed, n_clients, n_background, None, config)
+    baseline_rt, baseline = _run_workload(seed, n_clients, n_background, None, config)
+    baseline_sim = baseline_rt.platform.sim
 
     started = time.perf_counter()
     runtime, records = _run_workload(seed, n_clients, n_background, plan, config)
@@ -259,4 +266,6 @@ def run_chaos(
         sim_seconds=sim.now,
         wall_s=wall_s,
         lines=lines,
+        baseline_events=baseline_sim.events_processed,
+        baseline_sim_seconds=baseline_sim.now,
     )

@@ -315,6 +315,12 @@ class ResiliencePolicy:
             labelnames=("target",),
         )
         self._device_recovery_listeners: list[Callable[[], None]] = []
+        # Label-child and key memos: labels() re-validates labelnames and
+        # re-hashes the key tuple on every call, which shows up in the
+        # per-client hot loop; the children are stable for a run.
+        self._retry_children: dict[str, object] = {}
+        self._fallback_children: dict[str, object] = {}
+        self._kernel_keys: dict[str, str] = {}
         self.breaker = CircuitBreaker(
             clock,
             threshold=self.config.breaker_failure_threshold,
@@ -342,14 +348,27 @@ class ResiliencePolicy:
 
     # -- counters -----------------------------------------------------------
     def count_retry(self, kernel: str) -> None:
-        self._m_retries.labels(kernel=kernel).inc()
+        child = self._retry_children.get(kernel)
+        if child is None:
+            child = self._retry_children[kernel] = self._m_retries.labels(
+                kernel=kernel
+            )
+        child.inc()
 
     def count_fallback(self, reason: str) -> None:
-        self._m_fallbacks.labels(reason=reason).inc()
+        child = self._fallback_children.get(reason)
+        if child is None:
+            child = self._fallback_children[reason] = self._m_fallbacks.labels(
+                reason=reason
+            )
+        child.inc()
 
     # -- kernel-level breaker ------------------------------------------------
     def kernel_key(self, kernel: str) -> str:
-        return f"{self.KERNEL_PREFIX}{kernel}"
+        key = self._kernel_keys.get(kernel)
+        if key is None:
+            key = self._kernel_keys[kernel] = f"{self.KERNEL_PREFIX}{kernel}"
+        return key
 
     def allow_kernel(self, kernel: str) -> bool:
         return self.breaker.allow(self.kernel_key(kernel))

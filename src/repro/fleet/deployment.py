@@ -264,7 +264,7 @@ class FleetDeployment:
             inner.defused = True
             inner.callbacks.append(forward)
 
-        self.sim.call_in(delay_s, kick)
+        self.sim.defer(delay_s, kick)
         return done
 
     def wait_all(self, events: Iterable[Event]) -> list:

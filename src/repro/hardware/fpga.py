@@ -131,6 +131,9 @@ class FPGADevice:
         self.spec = spec
         self.tracer = tracer or Tracer(enabled=False)
         self._image: Optional[ConfigImage] = None
+        #: available_kernels memo, keyed on image identity.
+        self._avail_image: Optional[ConfigImage] = None
+        self._avail_kernels: tuple[str, ...] = ()
         self._reconfiguring = False
         self._reconfig_done: Optional[Event] = None
         self._compute_units: dict[str, Resource] = {}
@@ -168,10 +171,20 @@ class FPGADevice:
         """Kernels callable right now (none while reconfiguring/crashed)."""
         if self._image is None or self._reconfiguring or self._crashed:
             return ()
-        return tuple(self._image.kernel_names)
+        # kernel_names rebuilds a tuple from the image's kernel dict on
+        # every access; memoize per image identity (images are frozen).
+        if self._avail_image is not self._image:
+            self._avail_image = self._image
+            self._avail_kernels = tuple(self._image.kernel_names)
+        return self._avail_kernels
 
     def has_kernel(self, kernel_name: str) -> bool:
-        return kernel_name in self.available_kernels
+        if self._image is None or self._reconfiguring or self._crashed:
+            return False
+        if self._avail_image is not self._image:
+            self._avail_image = self._image
+            self._avail_kernels = tuple(self._image.kernel_names)
+        return kernel_name in self._avail_kernels
 
     def settled(self) -> Event:
         """An event that fires once any in-flight reconfiguration settles.
@@ -377,7 +390,7 @@ class FPGADevice:
         # Callback chain instead of a generator process: grant -> hold
         # the CU for ``duration`` -> release and report. Same FIFO
         # semantics, a fraction of the event traffic.
-        req.callbacks.append(lambda _ev: sim.call_in(duration, finish))
+        req.callbacks.append(lambda _ev: sim.defer(duration, finish))
         return done
 
     def queue_length(self, kernel_name: str) -> int:

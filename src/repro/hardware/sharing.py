@@ -244,29 +244,71 @@ class FairShareServer:
         """
         if work < 0:
             raise SimulationError(f"negative work {work!r}")
-        self._advance()
+        # Inlined _advance/_record_transition/_reschedule (profile-hot:
+        # one submit per job the simulation ever runs; the method-call
+        # fan-out costs more than the arithmetic it performs).
+        sim = self.sim
+        now = sim.now
+        jobs = self._jobs
+        n = len(jobs)
+        dt = now - self._last_update
+        if dt != 0.0:
+            if dt > 0.0 and n:
+                capacity = self.capacity
+                rate = capacity / n
+                cap = self.job_cap
+                if cap is not None and rate > cap:
+                    rate = cap
+                self._virtual += rate * dt
+                self._load_integral += n * dt
+                busy = rate * n
+                self._busy_integral += (
+                    capacity if busy > capacity else busy
+                ) * dt
+            self._last_update = now
         job = Job(
             job_id=next(self._ids),
             work=float(work),
             remaining=float(work),
             done=None if on_complete is not None else self.sim.event(),
             tag=tag,
-            start_time=self.sim.now,
+            start_time=now,
             entry_virtual=self._virtual,
             on_complete=on_complete,
         )
         if work == 0:
-            job.finish_time = self.sim.now
+            job.finish_time = now
             self._record_transition()
             if on_complete is not None:
                 on_complete(job)
             else:
                 job.done.succeed(job)
             return job
-        self._jobs[job.job_id] = job
+        jobs[job.job_id] = job
+        n += 1
         heappush(self._finish_heap, (job.entry_virtual + job.work, job.job_id, job))
-        self._record_transition()
-        self._reschedule()
+        # _record_transition, inline
+        if self._first_submit is None:
+            self._first_submit = now
+        if self._min_jobs is None or n < self._min_jobs:
+            self._min_jobs = n
+        if self._max_jobs is None or n > self._max_jobs:
+            self._max_jobs = n
+        self._transitions += 1
+        # _reschedule, inline (the new job may or may not be the head)
+        self._epoch += 1
+        head = self._next_finish()
+        if head is not None:
+            capacity = self.capacity
+            rate = capacity / n
+            cap = self.job_cap
+            if cap is not None and rate > cap:
+                rate = cap
+            if rate > 0:
+                shortest = head.entry_virtual + head.work - self._virtual
+                if shortest < 0.0:
+                    shortest = 0.0
+                sim.defer(shortest / rate, self._on_completion, self._epoch)
         return job
 
     def cancel(self, job: Job) -> None:
@@ -330,40 +372,95 @@ class FairShareServer:
         if rate <= 0:
             return
         shortest = max(0.0, head.entry_virtual + head.work - self._virtual)
-        epoch = self._epoch
-        self.sim.call_in(shortest / rate, lambda: self._on_completion(epoch))
+        # defer() recycles the scheduled record and takes the epoch as a
+        # plain argument — no per-reschedule closure or event allocation
+        # on what profiling shows is the single hottest call site.
+        self.sim.defer(shortest / rate, self._on_completion, self._epoch)
 
     def _on_completion(self, epoch: int) -> None:
         if epoch != self._epoch:
             return  # job set changed since this was scheduled
-        self._advance()
-        rate = self.rate_per_job()
+        # Fully inlined _advance / rate / _record_transition /
+        # _reschedule (profile-hot: one call per completion event; the
+        # helper fan-out used to dominate the arithmetic).
+        sim = self.sim
+        now = sim.now
+        jobs = self._jobs
+        n = len(jobs)
+        capacity = self.capacity
+        cap = self.job_cap
+        rate = 0.0
+        if n:
+            rate = capacity / n
+            if cap is not None and rate > cap:
+                rate = cap
+        dt = now - self._last_update
+        if dt != 0.0:
+            if dt > 0.0 and n:
+                self._virtual += rate * dt
+                self._load_integral += n * dt
+                busy = rate * n
+                self._busy_integral += (
+                    capacity if busy > capacity else busy
+                ) * dt
+            self._last_update = now
         finished: list[Job] = []
-        while True:
-            head = self._next_finish()
-            if head is None:
+        # Inlined head-draining loop. The completion tolerance's
+        # time-dust term depends only on (now, rate), both
+        # loop-invariant, so it is hoisted; the per-job work-dust term
+        # stays inside. Bit-for-bit the same arithmetic as
+        # _completion_tolerance.
+        heap = self._finish_heap
+        virtual = self._virtual
+        time_dust = rate * max(1e-12, 8 * math.ulp(now if now > 1.0 else 1.0))
+        while heap:
+            _mark, job_id, head = heap[0]
+            if job_id not in jobs:
+                heappop(heap)  # cancelled/finished: lazy cleanup
+                continue
+            work = head.work
+            work_dust = _EPSILON * (work if work > 1.0 else 1.0)
+            if head.entry_virtual + work - virtual > (
+                work_dust if work_dust > time_dust else time_dust
+            ):
                 break
-            residual = head.entry_virtual + head.work - self._virtual
-            if residual > _completion_tolerance(self.sim.now, rate, head.work):
-                break
-            heappop(self._finish_heap)
-            del self._jobs[head.job_id]
+            heappop(heap)
+            del jobs[job_id]
             finished.append(head)
-        if not finished and self._jobs:
+        if not finished and jobs:
             # Pure floating-point drift: the event fired for the
             # shortest job, so force it out rather than risk a
             # zero-width reschedule loop.
             head = self._next_finish()
-            heappop(self._finish_heap)
-            del self._jobs[head.job_id]
+            heappop(heap)
+            del jobs[head.job_id]
             finished.append(head)
-        now = self.sim.now
         for job in finished:
             job.remaining = 0.0
             job.finish_time = now
+        n = len(jobs)
         if finished:
-            self._record_transition()
-        self._reschedule()
+            # _record_transition, inline
+            if self._first_submit is None:
+                self._first_submit = now
+            if self._min_jobs is None or n < self._min_jobs:
+                self._min_jobs = n
+            if self._max_jobs is None or n > self._max_jobs:
+                self._max_jobs = n
+            self._transitions += 1
+        # _reschedule, inline
+        self._last_update = now
+        self._epoch += 1
+        head = self._next_finish()
+        if head is not None and n:
+            rate = capacity / n
+            if cap is not None and rate > cap:
+                rate = cap
+            if rate > 0:
+                shortest = head.entry_virtual + head.work - self._virtual
+                if shortest < 0.0:
+                    shortest = 0.0
+                sim.defer(shortest / rate, self._on_completion, self._epoch)
         for job in finished:
             if job.on_complete is not None:
                 job.on_complete(job)

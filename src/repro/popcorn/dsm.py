@@ -140,6 +140,10 @@ class DSM:
         #: Uniform-state spans, sorted by start, disjoint from each
         #: other and from ``directory``.
         self._spans: list[_Span] = []
+        #: (first_page, n) -> expected dense page list; lets
+        #: :meth:`_contiguous_run` recognize the recurring migration
+        #: working sets with one C-level list comparison.
+        self._run_cache: dict[tuple[int, int], list[int]] = {}
         self.stats = DSMStats()
 
     # -- topology ------------------------------------------------------------
@@ -263,12 +267,31 @@ class DSM:
             hi += 1
         spans[lo:hi] = [_Span(start, end, states)]
 
-    @staticmethod
-    def _contiguous_run(pages_sorted_hint: Sequence[int], mask: int, page_size: int):
+    def _contiguous_run(self, pages_sorted_hint: Sequence[int], mask: int, page_size: int):
         """(start, end) if the addresses cover one contiguous ascending
-        page range (duplicates allowed), else ``None``."""
+        page range (duplicates allowed), else ``None``.
+
+        The dominant caller is thread migration, which always passes the
+        same dense page-aligned working-set list; the fast path compares
+        the input against a cached expected run at C speed (one list
+        equality) instead of walking it address by address, and only
+        falls back to the exact per-address scan for irregular inputs.
+        """
         if not pages_sorted_hint:
             return None
+        first = pages_sorted_hint[0]
+        if first & mask == first:
+            n = len(pages_sorted_hint)
+            last = pages_sorted_hint[-1]
+            if last - first == (n - 1) * page_size:
+                cache = self._run_cache
+                expected = cache.get((first, n))
+                if expected is None:
+                    expected = cache[(first, n)] = list(
+                        range(first, first + n * page_size, page_size)
+                    )
+                if pages_sorted_hint == expected:
+                    return first, first + n * page_size
         prev = pages_sorted_hint[0] & mask
         start = prev
         for addr in pages_sorted_hint:

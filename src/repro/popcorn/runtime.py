@@ -59,6 +59,19 @@ class PopcornRuntime:
         self.dsm = dsm
         self.tracer = tracer or platform.tracer
         self._next_thread_id = 1
+        #: Transform memo shared by every thread on this runtime:
+        #: ``{(id(source_state), to_isa): (source_state, result_state,
+        #: cost_s, state_bytes)}`` plus a reverse index from a result
+        #: state back to its source. Machine states are immutable on the
+        #: migration path and threads ping-pong between the same two
+        #: states, so after the first bounce every migration is a memo
+        #: hit; keeping a strong reference to the key state inside the
+        #: value makes the id()-key safe (the identity check below can
+        #: never see a recycled id). Correctness of the reverse reuse
+        #: rests on the transformer's tested bit-identical round-trip
+        #: property.
+        self._transform_memo: dict = {}
+        self._reverse_memo: dict = {}
 
     def spawn_thread(
         self, binary: MultiISABinary, state: MachineState, node: Target = Target.X86
@@ -104,41 +117,81 @@ class PopcornRuntime:
             )
 
         source_cluster = self.platform.cluster(thread.node)
-        try:
-            new_state = self.transformer.transform(thread.state, to_isa)
-        except TransformError as exc:
-            raise MigrationError(f"state transformation failed: {exc}") from exc
-        transform_cost = self.transformer.transform_cost_seconds(thread.state)
-        state_bytes = thread.state.size_bytes()
+        state = thread.state
+        memo = self._transform_memo
+        key = (id(state), to_isa)
+        entry = memo.get(key)
+        if entry is not None and entry[0] is state:
+            # Forward hit: this exact state object was transformed to
+            # ``to_isa`` before (cost and size are functions of the
+            # source state, so they are memoized alongside).
+            new_state, transform_cost, state_bytes = entry[1], entry[2], entry[3]
+        else:
+            rev = self._reverse_memo.get(id(state))
+            if rev is not None and rev[0] is state and rev[1].isa == to_isa:
+                # Reverse hit: ``state`` is itself the result of
+                # transforming ``rev[1]`` here earlier. The round trip
+                # is bit-identical (a tested transformer property), so
+                # transforming back must reproduce ``rev[1]`` — reuse
+                # it and memoize the forward direction for next time.
+                new_state = rev[1]
+                transform_cost = self.transformer.transform_cost_seconds(state)
+                state_bytes = state.size_bytes()
+                memo[key] = (state, new_state, transform_cost, state_bytes)
+            else:
+                try:
+                    new_state = self.transformer.transform(state, to_isa)
+                except TransformError as exc:
+                    raise MigrationError(
+                        f"state transformation failed: {exc}"
+                    ) from exc
+                transform_cost = self.transformer.transform_cost_seconds(state)
+                state_bytes = state.size_bytes()
+                memo[key] = (state, new_state, transform_cost, state_bytes)
+                self._reverse_memo[id(new_state)] = (new_state, state)
         done = self.platform.sim.event()
         source_node, dest_node = thread.node, to
 
-        def protocol():
-            yield source_cluster.execute(
-                transform_cost, tag=("popcorn-transform", thread.thread_id)
-            )
-            yield self.platform.ethernet.transfer(
-                state_bytes, tag=("popcorn-state", thread.thread_id)
-            )
-            if self.dsm is not None and thread.dirty_addresses:
-                yield self.dsm.migrate_pages(
-                    str(source_node), str(dest_node), thread.dirty_addresses
-                )
-                thread.dirty_addresses.clear()
+        # Callback chain instead of a generator process: transform on
+        # the source CPU -> wire the state -> push dirty pages -> commit.
+        # Same steps and timing, none of the process/yield machinery.
+        def commit() -> None:
             thread.state = new_state
             thread.node = dest_node
             thread.migration_count += 1
-            self.tracer.record(
-                "popcorn",
-                f"thread {thread.thread_id} migrated {source_node} -> {dest_node}",
-                thread=thread.thread_id,
-                source=str(source_node),
-                dest=str(dest_node),
-                state_bytes=state_bytes,
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "popcorn",
+                    f"thread {thread.thread_id} migrated {source_node} -> {dest_node}",
+                    thread=thread.thread_id,
+                    source=str(source_node),
+                    dest=str(dest_node),
+                    state_bytes=state_bytes,
+                )
             done.succeed(thread)
 
-        self.platform.sim.spawn(protocol())
+        def after_pages(_ev: Event) -> None:
+            thread.dirty_addresses.clear()
+            commit()
+
+        def after_wire(_ev: Event) -> None:
+            if self.dsm is not None and thread.dirty_addresses:
+                self.dsm.migrate_pages(
+                    str(source_node), str(dest_node), thread.dirty_addresses
+                ).callbacks.append(after_pages)
+            else:
+                commit()
+
+        def after_transform(_job) -> None:
+            self.platform.ethernet.transfer(
+                state_bytes, tag=("popcorn-state", thread.thread_id)
+            ).callbacks.append(after_wire)
+
+        source_cluster.execute_job(
+            transform_cost,
+            tag=("popcorn-transform", thread.thread_id),
+            on_complete=after_transform,
+        )
         return done
 
     def migration_overhead_seconds(

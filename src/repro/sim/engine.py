@@ -29,6 +29,20 @@ __all__ = [
 #: "calendar"; see :mod:`repro.sim.calendar`).
 QUEUE_ENV = "REPRO_EVENT_QUEUE"
 
+#: Default queue when ``REPRO_EVENT_QUEUE`` is unset. The heap wins the
+#: head-to-head evaluation the ``scale_stress`` bench scenario runs on
+#: every full bench (see ``queue_eval`` in its extra payload): the
+#: calendar queue's insort/scan constants sit above heapq's C
+#: implementation at this workload's queue depths, so it stays the
+#: evaluated alternative rather than the default.
+DEFAULT_QUEUE = "heap"
+
+#: Environment variable disabling deferred-record recycling ("0" turns
+#: the free list off; every :meth:`Simulator.defer` then allocates a
+#: fresh record — the pre-recycling allocation path kept for
+#: differential testing).
+RECYCLE_ENV = "REPRO_EVENT_RECYCLE"
+
 
 class HeapEventQueue(list):
     """The default pending-event queue: a binary heap of
@@ -54,7 +68,7 @@ class HeapEventQueue(list):
 
 
 def _default_queue():
-    choice = os.environ.get(QUEUE_ENV, "heap")
+    choice = os.environ.get(QUEUE_ENV, DEFAULT_QUEUE)
     if choice == "calendar":
         from repro.sim.calendar import CalendarQueue
 
@@ -64,6 +78,10 @@ def _default_queue():
     raise SimulationError(
         f"unknown {QUEUE_ENV} value {choice!r}; expected 'heap' or 'calendar'"
     )
+
+
+def _default_recycle() -> bool:
+    return os.environ.get(RECYCLE_ENV, "1") != "0"
 
 
 class SimulationError(Exception):
@@ -129,8 +147,23 @@ class Event:
 
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with ``value``."""
-        self._trigger(True, value)
+        """Trigger the event successfully with ``value``.
+
+        The trigger/enqueue/push chain is inlined for the default heap
+        queue — one frame instead of four on a path the profile shows
+        runs once per event the simulation ever schedules.
+        """
+        if self._state != Event.PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim = self.sim
+        queue = sim._queue
+        if type(queue) is HeapEventQueue:
+            heapq.heappush(queue, (sim.now, next(sim._seq), self))
+        else:
+            queue.push(sim.now, next(sim._seq), self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -141,7 +174,7 @@ class Event:
         return self
 
     def _trigger(self, ok: bool, value: Any) -> None:
-        if self.triggered:
+        if self._state != Event.PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = ok
         self._value = value
@@ -207,6 +240,48 @@ class _Call(Event):
                 callback(self)
 
 
+#: Sentinel distinguishing "no argument" from an explicit ``None`` in
+#: :meth:`Simulator.defer`.
+_NO_ARG = object()
+
+
+class _Deferred:
+    """A recyclable scheduled-call record — the zero-allocation backbone
+    of :meth:`Simulator.defer`.
+
+    Unlike :class:`_Call` this is *not* an :class:`Event`: ``defer()``
+    returns no handle, so nothing outside the kernel can hold a
+    reference to a record, wait on it, or observe it after it fires.
+    That guarantee is what makes recycling safe — once ``_process``
+    runs, the record goes straight back on the simulator's free list
+    and the next ``defer()`` reuses it instead of allocating.
+
+    Duck-types the only part of the event protocol the run loops touch
+    (``_process``); the queue never compares records because the
+    ``(at, seq)`` tuple prefix is unique.
+    """
+
+    __slots__ = ("sim", "_fn", "_arg")
+
+    def _process(self) -> None:
+        fn = self._fn
+        arg = self._arg
+        # Detach before invoking: fn may re-defer and legitimately grab
+        # this very record back off the free list.
+        self._fn = None
+        self._arg = None
+        sim = self.sim
+        if sim._recycle:
+            sim._free.append(self)
+        if arg is _NO_ARG:
+            fn()
+        else:
+            fn(arg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_Deferred fn={self._fn!r} at {id(self):#x}>"
+
+
 class PeriodicCall:
     """A self-rescheduling timer: ``fn()`` every ``interval`` seconds
     until :meth:`cancel`.
@@ -253,17 +328,29 @@ class PeriodicCall:
         self.ticks += 1
         self.fn()
         if not self._cancelled:  # fn() may have cancelled us
-            self.sim.call_in(self.interval, self._tick)
+            self.sim.defer(self.interval, self._tick)
 
 
 class Simulator:
     """The event loop: owns simulated time and the pending-event queue."""
 
-    __slots__ = ("now", "_queue", "_seq", "_active_process", "events_processed")
+    __slots__ = (
+        "now",
+        "_queue",
+        "_seq",
+        "_active_process",
+        "events_processed",
+        "_free",
+        "_recycle",
+        "deferred_allocations",
+        "deferred_reuses",
+    )
 
-    def __init__(self, queue=None):
+    def __init__(self, queue=None, recycle: Optional[bool] = None):
         """``queue`` swaps the pending-event container (default: a
-        :class:`HeapEventQueue`, or what ``REPRO_EVENT_QUEUE`` names)."""
+        :class:`HeapEventQueue`, or what ``REPRO_EVENT_QUEUE`` names).
+        ``recycle`` toggles the :meth:`defer` free list (default: on,
+        unless ``REPRO_EVENT_RECYCLE=0``)."""
         self.now: float = 0.0
         self._queue = queue if queue is not None else _default_queue()
         self._seq = itertools.count()
@@ -271,6 +358,13 @@ class Simulator:
         #: Events processed so far; the wall-clock bench harness divides
         #: this by elapsed real time to report events/sec.
         self.events_processed: int = 0
+        #: Free list of spent :class:`_Deferred` records plus counters
+        #: exposing its effectiveness (tested: a long run must mostly
+        #: reuse rather than allocate).
+        self._free: list = []
+        self._recycle = _default_recycle() if recycle is None else recycle
+        self.deferred_allocations: int = 0
+        self.deferred_reuses: int = 0
 
     # -- scheduling primitives ----------------------------------------------
     def _enqueue(self, at: float, event: Event) -> None:
@@ -293,6 +387,36 @@ class Simulator:
     def call_in(self, delay: float, fn: Callable[[], Any]) -> Event:
         """Run ``fn`` after ``delay`` simulated seconds."""
         return _Call(self, delay, fn)
+
+    def defer(self, delay: float, fn: Callable, arg: Any = _NO_ARG) -> None:
+        """Run ``fn`` (or ``fn(arg)``) after ``delay`` simulated seconds,
+        returning no handle.
+
+        The fire-and-forget sibling of :meth:`call_in` for the kernel's
+        hot paths: because the caller gets nothing back, the scheduled
+        record can be recycled through a free list the moment it fires,
+        so a steady-state simulation stops allocating for timer-driven
+        work entirely. Prefer this over ``call_in(delay, lambda: ...)``
+        whenever the returned event is unused — it also saves the
+        closure by passing ``arg`` through.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative defer delay {delay!r}")
+        free = self._free
+        if free:
+            record = free.pop()
+            self.deferred_reuses += 1
+        else:
+            record = _Deferred.__new__(_Deferred)
+            record.sim = self
+            self.deferred_allocations += 1
+        record._fn = fn
+        record._arg = arg
+        queue = self._queue
+        if type(queue) is HeapEventQueue:
+            heapq.heappush(queue, (self.now + delay, next(self._seq), record))
+        else:
+            queue.push(self.now + delay, next(self._seq), record)
 
     def call_every(
         self,
@@ -340,14 +464,38 @@ class Simulator:
 
         When ``until`` is given, time is advanced to exactly ``until``
         even if the last event fires earlier.
+
+        The drain loop is specialised for the default heap queue:
+        ``heappop`` is called directly on the list subclass instead of
+        going through ``step()``'s method dispatch, which is worth ~15%
+        of kernel time on event-dense scenarios.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
         queue = self._queue
-        while queue:
-            if until is not None and queue.peek_time() > until:
-                break
-            self.step()
+        if type(queue) is HeapEventQueue:
+            pop = heapq.heappop
+            processed = 0
+            try:
+                if until is None:
+                    while queue:
+                        at, _seq, event = pop(queue)
+                        self.now = at
+                        processed += 1
+                        event._process()
+                else:
+                    while queue and queue[0][0] <= until:
+                        at, _seq, event = pop(queue)
+                        self.now = at
+                        processed += 1
+                        event._process()
+            finally:
+                self.events_processed += processed
+        else:
+            while queue:
+                if until is not None and queue.peek_time() > until:
+                    break
+                self.step()
         if until is not None:
             self.now = max(self.now, until)
 
@@ -358,10 +506,25 @@ class Simulator:
         :class:`SimulationError` if the queue drains first.
         """
         event.defused = True
-        while not event.processed:
-            if not self._queue:
-                raise SimulationError("simulation ended before event triggered")
-            self.step()
-        if not event.ok:
-            raise event.value
-        return event.value
+        queue = self._queue
+        if type(queue) is HeapEventQueue:
+            pop = heapq.heappop
+            processed = 0
+            try:
+                while event._state != Event.PROCESSED:
+                    if not queue:
+                        raise SimulationError("simulation ended before event triggered")
+                    at, _seq, pending = pop(queue)
+                    self.now = at
+                    processed += 1
+                    pending._process()
+            finally:
+                self.events_processed += processed
+        else:
+            while not event.processed:
+                if not queue:
+                    raise SimulationError("simulation ended before event triggered")
+                self.step()
+        if not event._ok:
+            raise event._value
+        return event._value

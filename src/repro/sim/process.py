@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Iterable
 
-from repro.sim.engine import Event, Interrupt, SimulationError, Simulator, _Call
+from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
 
 __all__ = ["Process", "AllOf", "AnyOf"]
 
@@ -31,7 +31,7 @@ class Process(Event):
         self.generator = generator
         self._waiting_on: Event | None = None
         # Bootstrap: resume for the first time at the current instant.
-        _Call(sim, 0.0, self._boot)
+        sim.defer(0.0, self._boot)
 
     def _boot(self) -> None:
         self._step(None, as_exception=False)
@@ -54,21 +54,22 @@ class Process(Event):
             except ValueError:
                 pass
             self._waiting_on = None
-        _Call(
-            self.sim, 0.0, lambda: self._step(Interrupt(cause), as_exception=True)
-        )
+        self.sim.defer(0.0, self._throw_interrupt, cause)
+
+    def _throw_interrupt(self, cause: Any) -> None:
+        self._step(Interrupt(cause), as_exception=True)
 
     # -- internal stepping ---------------------------------------------------
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        if event.ok:
-            self._step(event.value, as_exception=False)
+        if event._ok:
+            self._step(event._value, as_exception=False)
         else:
             event.defused = True
-            self._step(event.value, as_exception=True)
+            self._step(event._value, as_exception=True)
 
     def _step(self, value: Any, as_exception: bool) -> None:
-        if not self.is_alive:
+        if self._state != Event.PENDING:
             # A stale callback after the process already finished
             # (e.g. interrupted right as its event fired).
             return
@@ -91,10 +92,10 @@ class Process(Event):
             exc = SimulationError(f"process yielded a non-event: {target!r}")
             self.sim.call_in(0, lambda: self._step(exc, as_exception=True))
             return
-        if target.processed:
+        if target._state == Event.PROCESSED:
             # Already-processed events resume the process immediately
             # (at the current instant, preserving event ordering).
-            _Call(self.sim, 0.0, lambda: self._resume(target))
+            self.sim.defer(0.0, self._resume, target)
         else:
             self._waiting_on = target
             target.callbacks.append(self._resume)

@@ -116,6 +116,22 @@ class Store:
         self._balance()
         return ev
 
+    def offer(self, item: Any) -> None:
+        """Enqueue ``item`` without a completion event.
+
+        Identical admission semantics to :meth:`put`, but callers that
+        never wait on the put event (the common case for an unbounded
+        store) skip allocating and triggering one — on the uncontended
+        fast path this touches nothing but the handoff itself.
+        """
+        if not self._putters and len(self.items) < self.capacity:
+            if self._getters:
+                self._getters.popleft().succeed(item)
+            else:
+                self.items.append(item)
+            return
+        self.put(item)
+
     def get(self) -> Event:
         """Return an event whose value is the next item."""
         ev = Event(self.sim)

@@ -106,6 +106,9 @@ class XRTDevice:
             "kernel invocations that failed mid-flight",
             labelnames=("kernel",),
         )
+        #: kernel -> histogram child; labels() revalidation is hot on
+        #: the per-invocation path.
+        self._run_hist_children: dict = {}
 
     # -- fault injection ---------------------------------------------------
     def inject_run_failures(self, kernel_name: str, count: int = 1) -> None:
@@ -291,13 +294,19 @@ class XRTDevice:
                 finished_at=sim.now,
             )
             self.completed_runs.append(run)
-            self._m_kernel_runs.labels(kernel=kernel_name).observe(run.duration)
-            self.tracer.record(
-                "xrt",
-                f"{kernel_name} run complete ({run.duration * 1e3:.2f} ms)",
-                kernel=kernel_name,
-                duration=run.duration,
-            )
+            hist = self._run_hist_children.get(kernel_name)
+            if hist is None:
+                hist = self._run_hist_children[kernel_name] = (
+                    self._m_kernel_runs.labels(kernel=kernel_name)
+                )
+            hist.observe(run.duration)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "xrt",
+                    f"{kernel_name} run complete ({run.duration * 1e3:.2f} ms)",
+                    kernel=kernel_name,
+                    duration=run.duration,
+                )
             done.succeed(run)
 
         def after_execute(ev: Event) -> None:

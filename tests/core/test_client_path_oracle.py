@@ -1,0 +1,107 @@
+"""Chain-path vs generator-path differential oracle.
+
+``ApplicationRun.start`` is backed by two equivalent implementations:
+the default precompiled callback chain (``_chain_begin`` and friends)
+and the original generator process (``_body``), kept verbatim as the
+differential reference and selected with ``REPRO_CLIENT_PATH=generator``.
+These tests pin the equivalence contract: for any workload shape, the
+two paths must produce byte-identical run records and leave the
+threshold table in the same state.
+"""
+
+import math
+
+import pytest
+
+from repro.core import SystemMode, build_system
+from repro.core.application import CLIENT_PATH_ENV
+
+APPS = ["digit.2000", "facedet.320", "cg.A", "facedet.640"]
+
+
+def _lines(records):
+    return [
+        f"{rec.app},{rec.start_s:.9f},{rec.end_s:.9f},{rec.calls_completed},"
+        f"{rec.migrations},{','.join(str(t) for t in rec.targets)}"
+        for rec in records
+    ]
+
+
+def _run_workload(monkeypatch, path, *, deadline=False, modes=None):
+    """One seeded mixed workload under the given client path."""
+    monkeypatch.setenv(CLIENT_PATH_ENV, path)
+    runtime = build_system(APPS, seed=7)
+    load = runtime.launch_background(10)
+    handles = []
+    modes = modes or [SystemMode.XAR_TREK]
+    for index in range(24):
+        kwargs = dict(
+            seed=300 + index,
+            mode=modes[index % len(modes)],
+            calls=1 + index % 3,
+            delay_s=0.35 * index,
+        )
+        if deadline and index % 5 == 0:
+            kwargs["deadline_s"] = 2.0
+            kwargs.pop("calls")
+        handles.append(runtime.launch(APPS[index % len(APPS)], **kwargs))
+    records = runtime.wait_all(handles)
+    load.stop()
+    return runtime, records
+
+
+class TestChainGeneratorEquivalence:
+    def test_mixed_workload_records_are_bit_identical(self, monkeypatch):
+        _, chain = _run_workload(monkeypatch, "chain")
+        _, generator = _run_workload(monkeypatch, "generator")
+        assert _lines(chain) == _lines(generator)
+
+    def test_all_system_modes_agree(self, monkeypatch):
+        modes = [
+            SystemMode.XAR_TREK,
+            SystemMode.VANILLA_X86,
+            SystemMode.ALWAYS_FPGA,
+            SystemMode.VANILLA_ARM,
+        ]
+        _, chain = _run_workload(monkeypatch, "chain", modes=modes)
+        _, generator = _run_workload(monkeypatch, "generator", modes=modes)
+        assert _lines(chain) == _lines(generator)
+
+    def test_deadline_runs_agree(self, monkeypatch):
+        # Deadline-capped runs exercise the early-exit arcs of the
+        # lifecycle state machine (no Algorithm 1 pass at exit).
+        _, chain = _run_workload(monkeypatch, "chain", deadline=True)
+        _, generator = _run_workload(monkeypatch, "generator", deadline=True)
+        assert _lines(chain) == _lines(generator)
+
+    def test_threshold_tables_agree(self, monkeypatch):
+        # Algorithm 1 runs at client exit on both paths; the refined
+        # table is observable scheduler state and must not diverge.
+        chain_rt, _ = _run_workload(monkeypatch, "chain")
+        generator_rt, _ = _run_workload(monkeypatch, "generator")
+        chain_table = chain_rt.server.thresholds
+        generator_table = generator_rt.server.thresholds
+        for app in APPS:
+            chain_entry = chain_table.entry(app)
+            generator_entry = generator_table.entry(app)
+            assert math.isclose(
+                chain_entry.fpga_threshold, generator_entry.fpga_threshold
+            ), app
+            assert math.isclose(
+                chain_entry.arm_threshold, generator_entry.arm_threshold
+            ), app
+
+    def test_chain_is_the_default_path(self, monkeypatch):
+        monkeypatch.delenv(CLIENT_PATH_ENV, raising=False)
+        runtime = build_system(["digit.500"], seed=1)
+        run = runtime.launch("digit.500", seed=1, mode=SystemMode.XAR_TREK, calls=1)
+        record = runtime.wait_all([run])[0]
+        assert record.finished and record.calls_completed == 1
+
+
+class TestPathSelection:
+    @pytest.mark.parametrize("path", ["chain", "generator"])
+    def test_both_paths_complete_every_run(self, monkeypatch, path):
+        _, records = _run_workload(monkeypatch, path)
+        assert all(rec.finished for rec in records)
+        assert all(rec.calls_completed > 0 for rec in records)

@@ -1,0 +1,67 @@
+"""Queue-implementation differential and allocation-reuse regression.
+
+``DEFAULT_QUEUE`` is an *evaluated* default: the calendar queue is a
+drop-in alternative that must pop in identical ``(at, seq)`` order, so
+every bench scenario has to produce byte-identical checksums under
+either implementation. The scale_stress scenario re-runs the
+head-to-head on every full bench (the ``queue_eval`` extra payload);
+these tests pin the equivalence across the whole scenario matrix and
+the free-list effectiveness the zero-allocation defer path promises.
+"""
+
+import pytest
+
+from repro.experiments.wallclock import (
+    _queue_eval,
+    _scale_workload,
+    available_scenarios,
+    run_scenario,
+)
+from repro.sim.engine import DEFAULT_QUEUE, QUEUE_ENV
+
+
+class TestQueueDifferential:
+    @pytest.mark.parametrize("name", available_scenarios())
+    def test_scenario_checksums_identical_under_either_queue(
+        self, name, monkeypatch
+    ):
+        monkeypatch.setenv(QUEUE_ENV, "heap")
+        heap = run_scenario(name, seed=5, quick=True)
+        monkeypatch.setenv(QUEUE_ENV, "calendar")
+        calendar = run_scenario(name, seed=5, quick=True)
+        assert heap.checksum == calendar.checksum
+        assert heap.events == calendar.events
+        assert heap.sim_seconds == calendar.sim_seconds
+
+    def test_default_queue_is_the_evaluated_winner_shape(self):
+        # The head-to-head the full bench records in scale_stress's
+        # extra: both queues must agree byte-for-byte, and the payload
+        # must name the configured default so a drifting eval is
+        # visible in the committed BENCH file.
+        payload = _queue_eval(seed=5, n_clients=40, background=5)
+        assert payload["identical_outcomes"] is True
+        assert payload["default"] == DEFAULT_QUEUE
+        assert payload["winner"] in ("heap", "calendar")
+        assert payload["heap_wall_s"] > 0 and payload["calendar_wall_s"] > 0
+
+
+class TestAllocationReuse:
+    def test_scale_quick_mostly_recycles_deferred_records(self):
+        # The zero-allocation contract on the real workload (the quick
+        # scale_stress shape): steady-state defer traffic must be
+        # served overwhelmingly from the free list, not the allocator.
+        runtime, records = _scale_workload(seed=0, n_clients=250, background=25)
+        sim = runtime.platform.sim
+        assert all(rec.finished for rec in records)
+        assert sim.deferred_reuses > 0
+        total = sim.deferred_reuses + sim.deferred_allocations
+        assert sim.deferred_reuses / total > 0.95, (
+            f"free list served only {sim.deferred_reuses}/{total} defers"
+        )
+
+    def test_recycling_disabled_allocates_every_record(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_RECYCLE", "0")
+        runtime, _records = _scale_workload(seed=0, n_clients=40, background=5)
+        sim = runtime.platform.sim
+        assert sim.deferred_reuses == 0
+        assert sim.deferred_allocations > 0

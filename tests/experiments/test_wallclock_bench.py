@@ -180,3 +180,59 @@ class TestScaleStress:
         assert first.extra["dsm_page_transfers"] > 0
         assert first.extra["x86_max_load"] >= first.extra["background"]
         assert first.extra["x86_mean_load"] > 0
+
+
+class TestProfileSmoke:
+    def test_profiled_run_attaches_attribution_table(self):
+        result = run_scenario("fig3_low_load", seed=3, quick=True, profile=True)
+        rows = result.extra["profile"]
+        assert rows, "profiled run produced an empty attribution table"
+        for row in rows:
+            assert set(row) == {"function", "ncalls", "tottime_s", "cumtime_s"}
+            assert row["ncalls"] >= 1
+        # Rows arrive sorted by cumulative time, hottest first.
+        cumtimes = [row["cumtime_s"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_profiled_run_keeps_the_checksum(self):
+        # Profiling is observation only: the instrumented run must
+        # replay the exact same workload as the plain one.
+        plain = run_scenario("fig3_low_load", seed=3, quick=True)
+        profiled = run_scenario("fig3_low_load", seed=3, quick=True, profile=True)
+        assert profiled.checksum == plain.checksum
+        assert profiled.events == plain.events
+
+    def test_profile_out_dumps_loadable_pstats(self, tmp_path):
+        import pstats
+
+        result = run_scenario(
+            "fig3_low_load", seed=3, quick=True,
+            profile=True, profile_out=str(tmp_path),
+        )
+        path = result.extra["profile_stats_path"]
+        assert path == str(tmp_path / "fig3_low_load.pstats")
+        stats = pstats.Stats(path)
+        assert stats.total_calls > 0
+
+    def test_cli_refuses_profile_with_guard(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        report = run_bench(scenarios=["fig3_low_load"], seed=0, quick=True)
+        baseline.write_text(report.to_json())
+        code = main([
+            "bench", "--quick", "--scenarios", "fig3_low_load",
+            "--profile", "--guard", str(baseline), "--json", "-",
+        ])
+        assert code == 2
+        assert "refusing" in capsys.readouterr().out
+
+    def test_cli_refuses_profile_out_without_profile(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "bench", "--quick", "--scenarios", "fig3_low_load",
+            "--profile-out", str(tmp_path), "--json", "-",
+        ])
+        assert code == 2
+        assert "--profile-out requires --profile" in capsys.readouterr().out
