@@ -160,6 +160,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the chaos report as JSON")
     chaos.add_argument("--emit-plan", default=None, metavar="FILE",
                        help="write the (possibly generated) plan here and exit")
+    chaos.add_argument("--jobs", default=None, metavar="N",
+                       help="run the baseline and chaos legs in N>1 pool "
+                       "workers (0 or 'auto' = all CPUs; default: "
+                       "REPRO_FLEET_JOBS or serial)")
 
     cohort = sub.add_parser(
         "cohort",
@@ -209,6 +213,10 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--faults", action="store_true",
                        help="generate a per-node fault plan (half the "
                        "nodes) and arm it against the run")
+    fleet.add_argument("--jobs", default=None, metavar="N",
+                       help="worker processes for the per-node cohort runs "
+                       "(0 or 'auto' = all CPUs; default: REPRO_FLEET_JOBS "
+                       "or serial; results are byte-identical either way)")
     fleet.add_argument("--json", default=None, metavar="FILE",
                        help="also write the per-node summary as JSON")
 
@@ -403,7 +411,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         plan.to_file(args.emit_plan)
         print(f"plan        : {args.emit_plan} ({len(plan)} faults)")
         return 0
-    report = run_chaos(plan=plan, seed=args.seed, quick=args.quick)
+    report = run_chaos(plan=plan, seed=args.seed, quick=args.quick, jobs=args.jobs)
+    print(f"legs        : {report.mode}")
     print(report.to_text())
     if args.json:
         with open(args.json, "w") as handle:
@@ -545,11 +554,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"fault plan  : {len(fleet_plan)} faults on "
               f"{len(fleet_plan.plans)}/{args.nodes} nodes ({counts})")
     result = fleet.run_cohorts(
-        specs, background=args.background, fault_plans=fault_plans
+        specs, background=args.background, fault_plans=fault_plans,
+        jobs=args.jobs,
     )
     fleet.stop()
 
     print(f"nodes       : {args.nodes}")
+    print(f"exec        : {result.mode} ({result.workers} worker"
+          f"{'s' if result.workers != 1 else ''})")
     print(f"clients     : {result.clients} in {len(specs)} cohorts")
     print(f"assigned    : {','.join(str(c) for c in result.assigned_per_node)} "
           f"(skew {result.assignment_skew()})")
@@ -567,6 +579,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             "nodes": args.nodes,
+            "mode": result.mode,
+            "workers": result.workers,
             "clients": result.clients,
             "assigned_per_node": result.assigned_per_node,
             "assignment_skew": result.assignment_skew(),

@@ -77,6 +77,7 @@ __all__ = [
     "CohortRunResult",
     "CohortSpec",
     "RULES",
+    "record_cohort_run",
     "sample_arrivals",
 ]
 
@@ -176,6 +177,64 @@ def sample_arrivals(spec: CohortSpec) -> np.ndarray:
     having to be constructed before the other.
     """
     return spec.arrival.sample(spec.clients, spec.seed)
+
+
+def _cohort_counters(metrics: MetricsRegistry) -> tuple:
+    """The four cohort counter families on ``metrics`` (idempotent).
+
+    Shared by :class:`CohortPopulation` and :func:`record_cohort_run`
+    so a run executed in a worker process lands in a parent-side
+    registry with exactly the families a local run would create.
+    """
+    return (
+        metrics.counter(
+            "cohort_clients_total", "clients simulated through the cohort model"
+        ),
+        metrics.counter(
+            "cohort_calls_total",
+            "cohort-model calls by serving target",
+            labelnames=("target",),
+        ),
+        metrics.counter(
+            "cohort_fault_fallbacks_total",
+            "faulted FPGA calls that re-ran on x86",
+        ),
+        metrics.counter(
+            "cohort_runs_total",
+            "population runs by execution path",
+            labelnames=("path",),
+        ),
+    )
+
+
+def record_cohort_run(
+    run: "CohortRunResult",
+    server: Optional[SchedulerServer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    stats: Optional[ServerStats] = None,
+) -> None:
+    """Bulk-record a finished run's counters into a registry.
+
+    The cohort executors call this at run end; the parallel fleet path
+    calls it in the *parent* for results computed in worker processes
+    (whose registries die with them), so a node's metrics snapshot is
+    byte-identical whether its population ran locally or in a worker.
+    """
+    if server is not None:
+        metrics = metrics if metrics is not None else server.metrics
+        stats = stats if stats is not None else server.stats
+    if metrics is None:
+        raise CohortError("record_cohort_run needs a server or a registry")
+    if stats is None:
+        stats = ServerStats(metrics)
+    clients_c, calls_c, fallbacks_c, runs_c = _cohort_counters(metrics)
+    stats.record_decisions(run.decisions_by_target, run.decisions_by_rule)
+    clients_c.inc(run.clients)
+    for target, count in sorted(run.served_by_target().items()):
+        calls_c.labels(target=str(target)).inc(count)
+    if run.fault_fallbacks:
+        fallbacks_c.inc(run.fault_fallbacks)
+    runs_c.labels(path=run.path).inc()
 
 
 @dataclass
@@ -318,23 +377,12 @@ class CohortPopulation:
             DEFAULT_SOCKET_LATENCY_S if socket_latency_s is None else socket_latency_s
         )
         self._stats = server.stats if server is not None else ServerStats(self.metrics)
-        self._clients_counter = self.metrics.counter(
-            "cohort_clients_total", "clients simulated through the cohort model"
-        )
-        self._calls_counter = self.metrics.counter(
-            "cohort_calls_total",
-            "cohort-model calls by serving target",
-            labelnames=("target",),
-        )
-        self._fallbacks_counter = self.metrics.counter(
-            "cohort_fault_fallbacks_total",
-            "faulted FPGA calls that re-ran on x86",
-        )
-        self._runs_counter = self.metrics.counter(
-            "cohort_runs_total",
-            "population runs by execution path",
-            labelnames=("path",),
-        )
+        (
+            self._clients_counter,
+            self._calls_counter,
+            self._fallbacks_counter,
+            self._runs_counter,
+        ) = _cohort_counters(self.metrics)
 
         faults = frozenset(tuple(t) for t in (fault_targets or ()))
         if resident_kernels is None:
@@ -488,13 +536,7 @@ class CohortPopulation:
         return run_result
 
     def _record_metrics(self, run: CohortRunResult) -> None:
-        self._stats.record_decisions(run.decisions_by_target, run.decisions_by_rule)
-        self._clients_counter.inc(run.clients)
-        for target, count in sorted(run.served_by_target().items()):
-            self._calls_counter.labels(target=str(target)).inc(count)
-        if run.fault_fallbacks:
-            self._fallbacks_counter.inc(run.fault_fallbacks)
-        self._runs_counter.labels(path=run.path).inc()
+        record_cohort_run(run, metrics=self.metrics, stats=self._stats)
 
     # -- the vectorized path ------------------------------------------------
     def _start_vectorized(self, sim, cohort, result, target_tally, rule_tally):

@@ -399,12 +399,13 @@ def _as_cache(cache) -> Optional[SweepCache]:
 # Executor
 # ---------------------------------------------------------------------------
 
-def resolve_jobs(jobs: Optional[int | str] = None) -> int:
-    """Normalize a ``--jobs`` value: ``None`` falls back to the
-    ``REPRO_SWEEP_JOBS`` env var (default 1); 0 or ``"auto"`` means all
-    CPUs."""
+def resolve_jobs(jobs: Optional[int | str] = None, env: str = JOBS_ENV) -> int:
+    """Normalize a ``--jobs`` value: ``None`` falls back to the ``env``
+    variable (``REPRO_SWEEP_JOBS`` by default, value 1); 0 or ``"auto"``
+    means all CPUs. Other tiers that share the worker pool pass their
+    own env name (the fleet executor reads ``REPRO_FLEET_JOBS``)."""
     if jobs is None:
-        jobs = os.environ.get(JOBS_ENV, "1")
+        jobs = os.environ.get(env, "1")
     if isinstance(jobs, str):
         jobs = 0 if jobs.strip().lower() == "auto" else int(jobs)
     if jobs <= 0:

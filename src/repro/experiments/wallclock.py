@@ -472,6 +472,14 @@ def _scenario_fleet_stress(seed: int, quick: bool, ctx: BenchContext):
     record line, every per-node cohort line, and the assignment
     vector, so the scenario doubles as the fleet's replay-determinism
     tripwire.
+
+    The cohort leg runs twice — serially, then fanned out over the
+    persistent worker pool — and asserts the two results byte-identical
+    before reporting both walls and the speedup in ``extra`` (the
+    checksum is fed from the serial leg, so it is invariant to the
+    parallel path existing at all). On a one-core host the pool is
+    still exercised (two-worker floor, like report_sweep) and
+    ``parallel_speedup <= 1.0`` is the honest expected outcome.
     """
     from repro.core.cohort import ArrivalLaw, CohortSpec
     from repro.fleet import FleetConfig, FleetDeployment
@@ -520,14 +528,35 @@ def _scenario_fleet_stress(seed: int, quick: bool, ctx: BenchContext):
                 seed=int(rng.integers(2**32)),
             )
         )
-    cohorts = fleet.run_cohorts(specs, background=20)
+    started = time.perf_counter()
+    cohorts = fleet.run_cohorts(specs, background=20, jobs=1)
+    serial_wall = time.perf_counter() - started
+
+    # Two-worker floor for the same reason as report_sweep: the pool
+    # path must be exercised (and its dispatch overhead measured
+    # honestly) even on a one-core host.
+    jobs = max(2, ctx.jobs)
+    pool_workers = warm_pool(jobs)
+    started = time.perf_counter()
+    parallel = fleet.run_cohorts(specs, background=20, jobs=jobs, min_nodes=2)
+    parallel_wall = time.perf_counter() - started
+    if parallel.lines() != cohorts.lines():
+        raise AssertionError(
+            "parallel fleet cohort run diverged from serial execution — "
+            "the deterministic-merge contract of repro.fleet.parallel "
+            "is broken"
+        )
     fleet.stop()
 
     lines = [f"fleet_stress:{n_nodes}:{per_client}:{n_cohort_clients}"]
     lines.extend(_lines_for_records(records))
     lines.extend(cohorts.lines())
-    events = fleet.sim.events_processed + cohorts.logical_events
-    sim_seconds = fleet.sim.now + cohorts.sim_seconds
+    events = (
+        fleet.sim.events_processed
+        + cohorts.logical_events
+        + parallel.logical_events
+    )
+    sim_seconds = fleet.sim.now + cohorts.sim_seconds + parallel.sim_seconds
     extra = {
         "nodes": n_nodes,
         "per_client_runs": len(records),
@@ -537,6 +566,14 @@ def _scenario_fleet_stress(seed: int, quick: bool, ctx: BenchContext):
         "cross_node_migrations": fleet.router.cross_node_migrations,
         "fabric_page_transfers": fleet.dsm.stats.page_transfers,
         "load_skew": round(fleet.load_skew(), 2),
+        "jobs": jobs,
+        "pool_workers": pool_workers,
+        "parallel_mode": parallel.mode,
+        "worker_rebuilds": parallel.worker_rebuilds,
+        "cohort_serial_wall_s": round(serial_wall, 6),
+        "cohort_parallel_wall_s": round(parallel_wall, 6),
+        "parallel_speedup": round(serial_wall / parallel_wall, 2)
+        if parallel_wall > 0 else 0.0,
     }
     return events, sim_seconds, lines, extra
 
@@ -558,14 +595,36 @@ def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
     leg's events against the two-leg wall, which made chaos_stress
     look ~2x slower than scale_stress before any fault fired; the
     per-leg split stays visible in ``extra``.
+
+    The harness then runs again with its two legs in two pool workers
+    (``run_chaos(jobs=2)``); the parallel report's deterministic
+    payload must match the serial one byte for byte, both runs' walls
+    land in ``extra`` with the speedup, and the checksum is fed from
+    the serial report alone. On a one-core host the two workers time-
+    slice, so ``parallel_speedup <= 1.0`` is the honest expectation.
     """
     from repro.faults import default_plan, run_chaos
 
-    report = run_chaos(plan=default_plan(seed), seed=seed, quick=quick)
+    started = time.perf_counter()
+    report = run_chaos(plan=default_plan(seed), seed=seed, quick=quick, jobs=1)
+    serial_wall = time.perf_counter() - started
     if not report.ok:
         raise AssertionError(
             "chaos_stress broke the graceful-degradation contract:\n"
             + report.to_text()
+        )
+    warm_pool(2)
+    started = time.perf_counter()
+    parallel = run_chaos(plan=default_plan(seed), seed=seed, quick=quick, jobs=2)
+    parallel_wall = time.perf_counter() - started
+    serial_dict, parallel_dict = report.to_dict(), parallel.to_dict()
+    for volatile in ("wall_s", "baseline_wall_s", "events_per_sec", "mode"):
+        serial_dict.pop(volatile)
+        parallel_dict.pop(volatile)
+    if parallel.lines != report.lines or parallel_dict != serial_dict:
+        raise AssertionError(
+            "parallel chaos legs diverged from serial execution — the "
+            "per-leg determinism contract of repro.faults.harness is broken"
         )
     extra = {
         "clients": report.clients,
@@ -578,9 +637,24 @@ def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
         "completion_rate": report.completion_rate,
         "chaos_leg_events": report.events,
         "baseline_leg_events": report.baseline_events,
+        "parallel_mode": parallel.mode,
+        "legs_serial_wall_s": round(serial_wall, 6),
+        "legs_parallel_wall_s": round(parallel_wall, 6),
+        "parallel_speedup": round(serial_wall / parallel_wall, 2)
+        if parallel_wall > 0 else 0.0,
     }
-    events = report.events + report.baseline_events
-    sim_seconds = report.sim_seconds + report.baseline_sim_seconds
+    events = (
+        report.events
+        + report.baseline_events
+        + parallel.events
+        + parallel.baseline_events
+    )
+    sim_seconds = (
+        report.sim_seconds
+        + report.baseline_sim_seconds
+        + parallel.sim_seconds
+        + parallel.baseline_sim_seconds
+    )
     return events, sim_seconds, report.lines, extra
 
 

@@ -14,6 +14,12 @@ armed — and diffs the outcomes record by record. The resulting
 fallback mix, retry/quarantine counts, and the chaos leg's events/sec.
 Both ``repro chaos`` (the CLI) and the ``chaos_stress`` wall-clock
 scenario are thin wrappers over it.
+
+The two legs are fully independent (each builds its own runtime and
+simulator from the same seed), so ``jobs > 1`` runs them concurrently
+in two processes of the persistent sweep worker pool — roughly halving
+harness wall time on a multi-core host with per-leg results unchanged
+(each leg is a pure function of its arguments either way).
 """
 
 from __future__ import annotations
@@ -82,6 +88,12 @@ class ChaosReport:
     #: events/sec undercounts by roughly half.
     baseline_events: int = 0
     baseline_sim_seconds: float = 0.0
+    #: The baseline leg's own wall time (worker-side when parallel).
+    baseline_wall_s: float = 0.0
+    #: How the legs executed: ``"serial"`` (back-to-back in-process)
+    #: or ``"parallel"`` (two pool workers). Never part of the
+    #: deterministic payload.
+    mode: str = "serial"
 
     @property
     def completion_rate(self) -> float:
@@ -115,6 +127,8 @@ class ChaosReport:
             "events_per_sec": round(self.events_per_sec, 1),
             "sim_seconds": round(self.sim_seconds, 6),
             "wall_s": round(self.wall_s, 6),
+            "baseline_wall_s": round(self.baseline_wall_s, 6),
+            "mode": self.mode,
             "ok": self.ok,
         }
 
@@ -196,6 +210,39 @@ def _record_lines(records) -> list[str]:
     ]
 
 
+@dataclass
+class _LegOutcome:
+    """One leg's picklable result (what travels back from a worker)."""
+
+    records: list
+    events: int
+    sim_seconds: float
+    wall_s: float
+    summary: dict
+
+
+def _run_leg(args: tuple) -> _LegOutcome:
+    """Run one harness leg; the worker entry point for ``jobs > 1``.
+
+    Top-level (picklable) and a pure function of its arguments, so the
+    serial path calls it in-process and gets the identical outcome.
+    The wall clock is measured leg-side, preserving the "chaos leg
+    alone" semantics of :attr:`ChaosReport.wall_s` in both modes.
+    """
+    seed, n_clients, background, plan, config = args
+    started = time.perf_counter()
+    runtime, records = _run_workload(seed, n_clients, background, plan, config)
+    wall_s = time.perf_counter() - started
+    sim = runtime.platform.sim
+    return _LegOutcome(
+        records=list(records),
+        events=sim.events_processed,
+        sim_seconds=sim.now,
+        wall_s=wall_s,
+        summary=runtime.resilience.summary(),
+    )
+
+
 def run_chaos(
     plan: Optional[FaultPlan] = None,
     seed: int = 0,
@@ -203,6 +250,7 @@ def run_chaos(
     config: Optional[ResilienceConfig] = None,
     clients: Optional[int] = None,
     background: Optional[int] = None,
+    jobs: Optional[int | str] = None,
 ) -> ChaosReport:
     """Prove (or disprove) graceful degradation under ``plan``.
 
@@ -210,7 +258,14 @@ def run_chaos(
     armed, and compares per-client outcomes: same app, same seed, same
     number of completed calls. ``clients``/``background`` override the
     quick/full workload shape (tests use tiny fleets).
+
+    The two legs are independent, so ``jobs > 1`` (default: the
+    ``REPRO_FLEET_JOBS`` env var) runs them concurrently in two
+    workers of the persistent sweep pool; per-leg results — and hence
+    the report's deterministic payload — are identical to serial.
     """
+    from repro.fleet.parallel import resolve_fleet_jobs
+
     if plan is None:
         plan = default_plan(seed)
     n_clients = clients if clients is not None else (
@@ -220,12 +275,30 @@ def run_chaos(
         _QUICK_BACKGROUND if quick else _FULL_BACKGROUND
     )
 
-    baseline_rt, baseline = _run_workload(seed, n_clients, n_background, None, config)
-    baseline_sim = baseline_rt.platform.sim
+    leg_args = [
+        (seed, n_clients, n_background, None, config),  # fault-free baseline
+        (seed, n_clients, n_background, plan, config),  # chaos
+    ]
+    mode = "serial"
+    legs = None
+    if resolve_fleet_jobs(jobs) > 1:
+        from concurrent.futures.process import BrokenProcessPool
 
-    started = time.perf_counter()
-    runtime, records = _run_workload(seed, n_clients, n_background, plan, config)
-    wall_s = time.perf_counter() - started
+        from repro.experiments.sweep import _pool_for, shutdown_pool
+
+        pool = _pool_for(2)
+        try:
+            legs = list(pool.map(_run_leg, leg_args, chunksize=1))
+            mode = "parallel"
+        except BrokenProcessPool:
+            # A worker died; both legs are deterministic, so finish
+            # the harness serially instead of failing it.
+            shutdown_pool()
+            legs = None
+    if legs is None:
+        legs = [_run_leg(args) for args in leg_args]
+    baseline_leg, chaos_leg = legs
+    baseline, records = baseline_leg.records, chaos_leg.records
 
     completed = sum(
         1
@@ -245,8 +318,7 @@ def run_chaos(
                 f"{chaos.calls_completed} calls, baseline {base.calls_completed}"
             )
 
-    summary = runtime.resilience.summary()
-    sim = runtime.platform.sim
+    summary = chaos_leg.summary
     lines = [f"chaos_stress:{n_clients}:{n_background}:{len(plan)}"]
     lines.extend(_record_lines(records))
     return ChaosReport(
@@ -262,10 +334,12 @@ def run_chaos(
         quarantines=summary["quarantines"],
         goodput=summary["goodput"],
         breaker_states=summary["breaker_states"],
-        events=sim.events_processed,
-        sim_seconds=sim.now,
-        wall_s=wall_s,
+        events=chaos_leg.events,
+        sim_seconds=chaos_leg.sim_seconds,
+        wall_s=chaos_leg.wall_s,
         lines=lines,
-        baseline_events=baseline_sim.events_processed,
-        baseline_sim_seconds=baseline_sim.now,
+        baseline_events=baseline_leg.events,
+        baseline_sim_seconds=baseline_leg.sim_seconds,
+        baseline_wall_s=baseline_leg.wall_s,
+        mode=mode,
     )

@@ -18,10 +18,19 @@ from repro.fleet.deployment import (
 )
 from repro.fleet.gossip import GossipBus, GossipError, LoadDigest
 from repro.fleet.node import FleetNode
+from repro.fleet.parallel import (
+    FLEET_JOBS_ENV,
+    NodeWork,
+    NodeWorkResult,
+    fleet_parallel_threshold,
+    resolve_fleet_jobs,
+    run_node_work,
+)
 from repro.fleet.router import FleetRouter, RouteOutcome
 
 __all__ = [
     "DATACENTER_FABRIC",
+    "FLEET_JOBS_ENV",
     "FleetCohortResult",
     "FleetConfig",
     "FleetDeployment",
@@ -31,6 +40,11 @@ __all__ = [
     "GossipBus",
     "GossipError",
     "LoadDigest",
+    "NodeWork",
+    "NodeWorkResult",
     "RouteOutcome",
+    "fleet_parallel_threshold",
     "node_seeds",
+    "resolve_fleet_jobs",
+    "run_node_work",
 ]

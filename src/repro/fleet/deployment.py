@@ -127,6 +127,15 @@ class FleetCohortResult:
     #: The slowest node's completion horizon (nodes run concurrently).
     sim_seconds: float
     assigned_per_node: list[int]
+    #: How the node runs executed: ``"serial"`` or ``"parallel"``.
+    #: Execution mode never appears in :meth:`lines` — the two paths
+    #: are byte-identical there by contract.
+    mode: str = "serial"
+    #: Worker processes the run actually used (1 when serial).
+    workers: int = 1
+    #: Node runtimes built fresh in workers this call (0 once every
+    #: worker's runtime cache is warm — the pool-reuse observable).
+    worker_rebuilds: int = 0
 
     @property
     def fault_fallbacks(self) -> int:
@@ -354,6 +363,8 @@ class FleetDeployment:
         background: int = 0,
         vectorized: Optional[bool] = None,
         fault_plans: Optional[dict[int, object]] = None,
+        jobs: Optional[int | str] = None,
+        min_nodes: Optional[int] = None,
     ) -> FleetCohortResult:
         """Shard ``specs`` across the fleet and run every node's share.
 
@@ -364,33 +375,109 @@ class FleetDeployment:
         population runs on a fresh simulator (the cohort model is
         open-loop; nodes are concurrent, so the fleet horizon is the
         slowest node's).
+
+        ``jobs`` > 1 fans the node runs out over the persistent sweep
+        worker pool (default: the ``REPRO_FLEET_JOBS`` env var, serial
+        if unset). Results merge in node-index order and the parallel
+        result — including :meth:`FleetCohortResult.lines` — is
+        byte-identical to serial; worker-side runs are replayed into
+        each node's own metrics registry so the observability contract
+        holds too. A multi-job call still runs serially below
+        ``min_nodes`` non-empty shards (default
+        :func:`~repro.fleet.parallel.fleet_parallel_threshold`; 0
+        forces the pool), mirroring ``run_cells``.
         """
+        from repro.core.cohort import record_cohort_run
         from repro.faults.cohort import resolve_cohort_faults
+        from repro.fleet.parallel import (
+            NodeWork,
+            fleet_parallel_threshold,
+            resolve_fleet_jobs,
+            run_node_work,
+        )
 
         per_node, assigned = self.shard_cohorts(specs)
+        work_nodes = [node for node in self.nodes if per_node[node.index]]
+        # Fault resolution happens in the parent for both paths: the
+        # resolver needs the node's live (Algorithm-1-refined)
+        # threshold table, which worker processes do not have.
+        fault_targets: dict[int, frozenset] = {}
+        for node in work_nodes:
+            plan = (fault_plans or {}).get(node.index)
+            if plan is not None:
+                fault_targets[node.index] = resolve_cohort_faults(
+                    plan, tuple(per_node[node.index]), node.server.thresholds
+                )
+
+        jobs = resolve_fleet_jobs(jobs)
+        threshold = fleet_parallel_threshold() if min_nodes is None else min_nodes
+        use_pool = jobs > 1 and work_nodes and len(work_nodes) >= threshold
+        mode = "serial"
+        workers = 1
+        rebuilds = 0
         node_results: list[tuple[int, CohortRunResult]] = []
+        if use_pool:
+            from concurrent.futures.process import BrokenProcessPool
+
+            from repro.experiments.sweep import (
+                _pool_for,
+                platform_config_hash,
+                shutdown_pool,
+            )
+
+            config_hash = platform_config_hash()
+            works = [
+                NodeWork(
+                    index=node.index,
+                    seed=node.seed,
+                    platform_hash=config_hash,
+                    apps=self.config.apps,
+                    use_dsm=self.config.use_dsm,
+                    replicate_compute_units=self.config.replicate_compute_units,
+                    sub_specs=tuple(per_node[node.index]),
+                    background=background,
+                    vectorized=vectorized,
+                    fault_targets=fault_targets.get(node.index),
+                    thresholds=node.server.thresholds.copy(),
+                    socket_latency_s=node.server.socket_latency_s,
+                )
+                for node in work_nodes
+            ]
+            workers = min(jobs, len(works))
+            pool = _pool_for(workers)
+            try:
+                # Collect everything before recording anything: a
+                # worker death mid-map must leave the node registries
+                # untouched so the serial recovery does not double
+                # count.
+                outs = list(pool.map(run_node_work, works, chunksize=1))
+                mode = "parallel"
+                for node, out in zip(work_nodes, outs):
+                    record_cohort_run(out.result, server=node.server)
+                    rebuilds += int(out.rebuilt)
+                    node_results.append((node.index, out.result))
+            except BrokenProcessPool:
+                # A worker died (OOM kill, signal). Results are
+                # deterministic either way, so recover by running the
+                # nodes serially rather than failing the fleet run.
+                shutdown_pool()
+                workers = 1
+                node_results = []
+        if not node_results:
+            for node in work_nodes:
+                population = CohortPopulation(
+                    per_node[node.index],
+                    background=background,
+                    server=node.server,
+                    fault_targets=fault_targets.get(node.index),
+                )
+                result = population.run(sim=Simulator(), vectorized=vectorized)
+                node_results.append((node.index, result))
         clients = 0
         logical_events = 0
         sim_events = 0
         horizon = 0.0
-        for node in self.nodes:
-            sub_specs = per_node[node.index]
-            if not sub_specs:
-                continue
-            fault_targets = None
-            plan = (fault_plans or {}).get(node.index)
-            if plan is not None:
-                fault_targets = resolve_cohort_faults(
-                    plan, tuple(sub_specs), node.server.thresholds
-                )
-            population = CohortPopulation(
-                sub_specs,
-                background=background,
-                server=node.server,
-                fault_targets=fault_targets,
-            )
-            result = population.run(sim=Simulator(), vectorized=vectorized)
-            node_results.append((node.index, result))
+        for _index, result in node_results:
             clients += result.clients
             logical_events += result.logical_events
             sim_events += result.sim_events
@@ -402,4 +489,7 @@ class FleetDeployment:
             sim_events=sim_events,
             sim_seconds=horizon,
             assigned_per_node=assigned,
+            mode=mode,
+            workers=workers,
+            worker_rebuilds=rebuilds,
         )

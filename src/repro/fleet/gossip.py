@@ -114,6 +114,14 @@ class GossipBus:
             "published load score per node (stale between rounds)",
             labelnames=("node",),
         )
+        # Gauge children resolved once per node at construction:
+        # publish() runs every round over every node, and labels()
+        # costs a kwargs dict plus a child lookup per call (the same
+        # fix ServerStats applied to its hot counters).
+        self._node_load_children = [
+            self._m_node_load.labels(node=node.name) for node in self.nodes
+        ]
+        self._version = 0
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -123,6 +131,16 @@ class GossipBus:
     @property
     def rounds(self) -> int:
         return int(self._m_rounds.value)
+
+    @property
+    def version(self) -> int:
+        """Monotone publication counter (bumps once per round).
+
+        Published digests only ever change at a round boundary, so
+        consumers may cache values derived from them — the router's
+        fleet-floor cache keys on this — and invalidate on a bump.
+        """
+        return self._version
 
     def start(self) -> None:
         """Publish round 0 immediately, then tick every interval."""
@@ -141,14 +159,15 @@ class GossipBus:
     def publish(self) -> None:
         """One gossip round: every node's digest becomes the fleet view."""
         scores = []
-        for node in self.nodes:
+        for node, load_gauge in zip(self.nodes, self._node_load_children):
             digest = node.digest(self.sim.now)
             self._digests[node.index] = digest
-            self._m_node_load.labels(node=node.name).set(digest.score)
+            load_gauge.set(digest.score)
             scores.append(digest.score)
         if scores:
             self._m_skew.set(max(scores) - min(scores))
         self._m_rounds.inc()
+        self._version += 1
 
     # -- the stale read side ------------------------------------------------
     def digest(self, index: int) -> LoadDigest:

@@ -91,6 +91,12 @@ class FleetRouter:
         #: working-set range (allocated on first cross-node migration).
         self._working_sets: dict[object, tuple[int, int]] = {}
         self._next_base = _WORKING_SET_BASE
+        #: ``(gossip version, candidate indexes) -> fleet floor``.
+        #: Digest scores only change at gossip rounds, so the min over
+        #: the candidates is constant between publishes for a fixed
+        #: candidate set; recomputing it per route() made _overloaded
+        #: O(nodes) on every sticky decision.
+        self._floor_cache: Optional[tuple[int, tuple[int, ...], float]] = None
         self._m_routes = metrics.counter(
             "fleet_routes_total",
             "fleet routing decisions by outcome",
@@ -167,8 +173,26 @@ class FleetRouter:
         ``rebalance_factor`` times the stale fleet minimum?"""
         digest = self.gossip.digest(node.index)
         self.gossip.observe_staleness(digest)
+        return digest.score > self.rebalance_factor * max(
+            self._fleet_floor(candidates), 1.0
+        )
+
+    def _fleet_floor(self, candidates: "list[FleetNode]") -> float:
+        """min stale score over ``candidates``, cached per gossip round.
+
+        The cache key is ``(publication version, candidate indexes)``:
+        a publish bumps the version, and a health change alters the
+        candidate set, so both invalidate. Only the node's *own* digest
+        was ever staleness-observed here, so caching changes no metric.
+        """
+        version = self.gossip.version
+        key = tuple(c.index for c in candidates)
+        cached = self._floor_cache
+        if cached is not None and cached[0] == version and cached[1] == key:
+            return cached[2]
         floor = min(self.gossip.digest(c.index).score for c in candidates)
-        return digest.score > self.rebalance_factor * max(floor, 1.0)
+        self._floor_cache = (version, key, floor)
+        return floor
 
     def _power_of_two(self, candidates: "list[FleetNode]") -> "FleetNode":
         """Two independent stale reads, keep the emptier node.

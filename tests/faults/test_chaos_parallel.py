@@ -1,0 +1,52 @@
+"""Parallel chaos legs == serial chaos legs (the harness differential).
+
+``run_chaos(jobs=2)`` runs its fault-free baseline and chaos legs in
+two pool workers; each leg is a pure function of its arguments, so the
+report's deterministic payload must match the serial run byte for byte
+— only the wall clocks and the execution mode may differ.
+"""
+
+import pytest
+
+from repro.faults import default_plan, run_chaos
+from repro.faults.harness import _run_leg
+
+_VOLATILE = ("wall_s", "baseline_wall_s", "events_per_sec", "mode")
+
+
+def _stripped(report):
+    payload = report.to_dict()
+    for key in _VOLATILE:
+        payload.pop(key)
+    return payload
+
+
+class TestParallelChaosLegs:
+    def test_parallel_report_matches_serial(self):
+        plan = default_plan(3)
+        serial = run_chaos(plan=plan, seed=3, clients=8, background=2, jobs=1)
+        parallel = run_chaos(plan=plan, seed=3, clients=8, background=2, jobs=2)
+        assert serial.mode == "serial"
+        assert parallel.mode == "parallel"
+        assert serial.ok and parallel.ok
+        assert parallel.lines == serial.lines
+        assert _stripped(parallel) == _stripped(serial)
+
+    def test_leg_is_pure_function_of_args(self):
+        # The worker entry point called twice in-process must reproduce
+        # itself exactly (this is what makes pool dispatch safe).
+        args = (5, 4, 1, default_plan(5), None)
+        first = _run_leg(args)
+        second = _run_leg(args)
+        assert [r.calls_completed for r in first.records] == [
+            r.calls_completed for r in second.records
+        ]
+        assert first.events == second.events
+        assert first.sim_seconds == second.sim_seconds
+        assert first.summary == second.summary
+
+    def test_jobs_env_routes_legs_through_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_JOBS", "2")
+        report = run_chaos(plan=default_plan(2), seed=2, clients=4, background=1)
+        assert report.mode == "parallel"
+        assert report.ok

@@ -87,3 +87,33 @@ class TestGossipBus:
         fleet.sim.run(until=1.1)  # one refresh after the load landed
         fleet.stop()
         assert fleet.load_skew() >= 10.0
+
+
+class TestPublishFastPath:
+    def test_version_bumps_once_per_round(self):
+        fleet = FleetDeployment(
+            FleetConfig(nodes=2, apps=APPS, seed=9, gossip_interval_s=0.5)
+        )
+        assert fleet.gossip.version == 1  # round 0
+        fleet.sim.run(until=1.1)
+        fleet.stop()
+        assert fleet.gossip.version == fleet.gossip.rounds == 3
+
+    def test_memoized_gauge_children_track_published_scores(self):
+        # publish() goes through per-node children resolved once at
+        # construction; the observable gauge values must still follow
+        # every round's digests exactly.
+        fleet = FleetDeployment(FleetConfig(nodes=2, apps=APPS, seed=9))
+        gauge = fleet.metrics.get("fleet_node_load")
+        for node in fleet.nodes:
+            assert gauge.labels(node=node.name).value == (
+                fleet.gossip.digest(node.index).score
+            )
+        fleet.nodes[0].runtime.launch_background(6)
+        fleet.gossip.publish()
+        fleet.stop()
+        loaded = fleet.nodes[0]
+        assert gauge.labels(node=loaded.name).value == (
+            fleet.gossip.digest(loaded.index).score
+        )
+        assert gauge.labels(node=loaded.name).value >= 6.0

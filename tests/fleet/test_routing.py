@@ -63,6 +63,65 @@ class TestOutcomes:
         # the local x86 fallback, same as the single-node degradation.
 
 
+class TestFleetFloorCache:
+    def test_floor_matches_fresh_minimum(self, fleet):
+        candidates = [n for n in fleet.nodes if n.healthy]
+        fresh = min(fleet.gossip.digest(n.index).score for n in candidates)
+        assert fleet.router._fleet_floor(candidates) == fresh
+
+    def test_floor_is_reused_within_a_gossip_round(self, fleet):
+        candidates = list(fleet.nodes)
+        fleet.router._fleet_floor(candidates)
+        cached = fleet.router._floor_cache
+        assert cached is not None
+        fleet.router._fleet_floor(candidates)
+        assert fleet.router._floor_cache is cached  # no recompute
+
+    def test_publish_invalidates_the_floor(self, fleet):
+        candidates = list(fleet.nodes)
+        assert fleet.router._fleet_floor(candidates) == 0.0
+        for node in fleet.nodes:
+            node.runtime.launch_background(5)
+        # Live load changed but nothing was published: the stale floor
+        # must not move yet.
+        assert fleet.router._fleet_floor(candidates) == 0.0
+        fleet.gossip.publish()
+        fleet.stop()
+        assert fleet.router._fleet_floor(candidates) >= 5.0
+
+    def test_candidate_set_change_invalidates_the_floor(self, fleet):
+        fleet.nodes[0].runtime.launch_background(5)
+        fleet.gossip.publish()
+        fleet.stop()
+        full = fleet.router._fleet_floor(list(fleet.nodes))
+        assert full == 0.0  # nodes 1/2 are idle
+        only_loaded = fleet.router._fleet_floor([fleet.nodes[0]])
+        assert only_loaded >= 5.0
+
+    def test_sticky_decisions_use_the_cached_floor(self, fleet):
+        # Many sticky routes inside one gossip round: the digests the
+        # floor depends on are read once, not per decision.
+        for key in range(8):
+            fleet.router.route(f"client-{key}", "digit.2000")
+        reads = 0
+        original = fleet.gossip.digest
+
+        def counting(index):
+            nonlocal reads
+            reads += 1
+            return original(index)
+
+        fleet.gossip.digest = counting
+        try:
+            for key in range(8):
+                fleet.router.route(f"client-{key}", "digit.2000")
+        finally:
+            fleet.gossip.digest = original
+        # One stale read per sticky decision (the node's own digest),
+        # plus at most one floor recompute over the 3 candidates.
+        assert reads <= 8 + 3
+
+
 class TestAccounting:
     def test_working_set_is_seeded_once_and_moves_wholesale(self, fleet):
         node, _ = fleet.router.route("frank", "digit.2000")
