@@ -164,6 +164,70 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run the baseline and chaos legs in N>1 pool "
                        "workers (0 or 'auto' = all CPUs; default: "
                        "REPRO_FLEET_JOBS or serial)")
+    chaos.add_argument("--traffic", default=None, metavar="FILE",
+                       help="replay this traffic trace JSON (see `repro "
+                       "traffic`) instead of the seeded workload")
+    chaos.add_argument("--brownout-floor", type=float, default=None,
+                       metavar="FRACTION",
+                       help="judge by the brownout contract with this "
+                       "goodput floor instead of completion_rate == 1.0")
+    chaos.add_argument("--slo-p99", type=float, default=None, metavar="SECONDS",
+                       help="score every app in the workload against this "
+                       "p99 latency target")
+    chaos.add_argument("--slo-goodput", type=float, default=None,
+                       metavar="FRACTION",
+                       help="score every app against this deadline-goodput "
+                       "floor")
+    chaos.add_argument("--horizon", type=float, default=None, metavar="SECONDS",
+                       help="scenario horizon; refuses plans whose faults "
+                       "would fire past it")
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="generate, inspect, or replay a trace-driven open-loop "
+        "arrival workload (diurnal + flash-crowd spikes)",
+    )
+    traffic.add_argument("--load", default=None, metavar="FILE",
+                         help="load an existing trace JSON instead of "
+                         "generating one")
+    traffic.add_argument("--apps", nargs="+", default=None,
+                         help="applications the crowd calls (default: the "
+                         "interactive benchmarks)")
+    traffic.add_argument("--rate", type=float, default=3.0, metavar="PER_S",
+                         help="base arrival rate (clients/second)")
+    traffic.add_argument("--horizon", type=float, default=30.0,
+                         metavar="SECONDS", help="arrivals stop here")
+    traffic.add_argument("--diurnal-period", type=float, default=30.0,
+                         metavar="SECONDS", help="diurnal cycle length")
+    traffic.add_argument("--diurnal-amplitude", type=float, default=0.4,
+                         help="diurnal swing in [0, 1); 0 disables it")
+    traffic.add_argument("--spike-at", type=float, default=None,
+                         metavar="SECONDS", help="flash-crowd spike start")
+    traffic.add_argument("--spike-duration", type=float, default=5.0,
+                         metavar="SECONDS")
+    traffic.add_argument("--spike-factor", type=float, default=10.0,
+                         help="rate multiplier while the spike is active")
+    traffic.add_argument("--calls-alpha", type=float, default=1.5,
+                         help="Pareto tail index for session lengths")
+    traffic.add_argument("--calls-max", type=int, default=4,
+                         help="session-length cap (calls per client)")
+    traffic.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-client completion deadline")
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--out", default=None, metavar="FILE",
+                         help="write the trace as replayable JSON")
+    traffic.add_argument("--replay", action="store_true",
+                         help="replay the trace through the simulated "
+                         "deployment and report per-app SLO scores")
+    traffic.add_argument("--background", type=int, default=10,
+                         help="resident background processes during replay")
+    traffic.add_argument("--slo-p99", type=float, default=None,
+                         metavar="SECONDS",
+                         help="with --replay: per-app p99 latency target")
+    traffic.add_argument("--slo-goodput", type=float, default=None,
+                         metavar="FRACTION",
+                         help="with --replay: per-app deadline-goodput floor")
 
     cohort = sub.add_parser(
         "cohort",
@@ -398,10 +462,22 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _slo_targets(apps, p99, goodput):
+    """Uniform per-app SLO targets from the CLI's two knobs."""
+    from repro.traffic import SLOTarget
+
+    if p99 is None and goodput is None:
+        return ()
+    return tuple(
+        SLOTarget(app, p99_latency_s=p99, goodput_floor=goodput)
+        for app in sorted(apps)
+    )
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from repro.faults import FaultPlan, default_plan, run_chaos
+    from repro.faults import BrownoutCriteria, FaultPlan, default_plan, run_chaos
 
     if args.plan:
         plan = FaultPlan.from_file(args.plan)
@@ -411,7 +487,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         plan.to_file(args.emit_plan)
         print(f"plan        : {args.emit_plan} ({len(plan)} faults)")
         return 0
-    report = run_chaos(plan=plan, seed=args.seed, quick=args.quick, jobs=args.jobs)
+    traffic = None
+    if args.traffic:
+        from repro.traffic import Trace
+
+        traffic = Trace.load(args.traffic)
+    brownout = (
+        BrownoutCriteria(goodput_floor=args.brownout_floor)
+        if args.brownout_floor is not None
+        else None
+    )
+    apps = (
+        sorted({entry.app for entry in traffic})
+        if traffic is not None
+        else sorted(set(PAPER_BENCHMARKS))
+    )
+    report = run_chaos(
+        plan=plan, seed=args.seed, quick=args.quick, jobs=args.jobs,
+        traffic=traffic, brownout=brownout,
+        slo=_slo_targets(apps, args.slo_p99, args.slo_goodput),
+        horizon_s=args.horizon,
+    )
     print(f"legs        : {report.mode}")
     print(report.to_text())
     if args.json:
@@ -652,6 +748,71 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.traffic import SpikeWindow, Trace, TrafficSpec, generate_trace
+
+    if args.load:
+        trace = Trace.load(args.load)
+        print(f"trace       : {args.load}")
+    else:
+        spikes = ()
+        if args.spike_at is not None:
+            spikes = (
+                SpikeWindow(
+                    at_s=args.spike_at,
+                    duration_s=args.spike_duration,
+                    factor=args.spike_factor,
+                ),
+            )
+        apps = tuple(sorted(set(
+            args.apps or ("digit.500", "facedet.320", "facedet.640")
+        )))
+        spec = TrafficSpec(
+            apps=apps,
+            base_rate_per_s=args.rate,
+            horizon_s=args.horizon,
+            diurnal_period_s=args.diurnal_period,
+            diurnal_amplitude=args.diurnal_amplitude,
+            spikes=spikes,
+            calls_alpha=args.calls_alpha,
+            calls_max=args.calls_max,
+            deadline_s=args.deadline,
+            seed=args.seed,
+        )
+        trace = generate_trace(spec)
+        print(f"peak rate   : {spec.peak_rate_per_s:g} clients/s")
+    per_app: dict[str, int] = {}
+    for entry in trace:
+        per_app[entry.app] = per_app.get(entry.app, 0) + 1
+    print(f"clients     : {len(trace)} ({trace.total_calls} calls, "
+          f"seed {trace.seed})")
+    print(f"horizon     : {trace.horizon_s:g} s")
+    for app, count in sorted(per_app.items()):
+        print(f"  {app:<14}: {count} clients")
+    if args.out:
+        trace.save(args.out)
+        print(f"json        : {args.out}")
+    if args.replay:
+        from repro.faults.harness import _run_workload
+        from repro.traffic import SLOTracker
+
+        _runtime, records = _run_workload(
+            trace.seed, len(trace), args.background, None, None,
+            trace, trace.horizon_s or None,
+        )
+        tracker = SLOTracker(
+            _slo_targets(per_app, args.slo_p99, args.slo_goodput)
+        )
+        tracker.observe_all(records)
+        finished = sum(1 for rec in records if rec.finished)
+        print(f"replay      : {finished}/{len(records)} clients finished")
+        for line in tracker.lines():
+            print(f"  {line}")
+        if any(report.violations for report in tracker.score().values()):
+            return 1
+    return 0
+
+
 def _cmd_thresholds(apps: list[str]) -> int:
     result = XarTrekCompiler().compile(spec_for(apps))
     print(result.thresholds.to_text(), end="")
@@ -681,6 +842,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "traffic":
+        return _cmd_traffic(args)
     if args.command == "cohort":
         return _cmd_cohort(args)
     if args.command == "fleet":

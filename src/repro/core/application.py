@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.compiler.pipeline import CompiledApplication
-from repro.core.server import SchedulerUnavailable
+from repro.core.server import RequestShed, SchedulerUnavailable
 from repro.popcorn.migration_points import CType
 from repro.popcorn.runtime import PopcornRuntime, PopcornThread
 from repro.popcorn.state import MachineState, StateTransformer
@@ -75,6 +75,13 @@ class RunRecord:
     fpga_fallbacks: int = 0
     retries: int = 0
     verified: Optional[bool] = None
+    #: The session's completion deadline (absolute budget from start),
+    #: carried so SLO scoring can compute deadline-goodput per record.
+    deadline_s: Optional[float] = None
+    #: Why the session was cut short by overload protection (one of
+    #: :data:`repro.faults.resilience.SHED_REASONS`), or None for a
+    #: fully served run. A shed run still has a valid ``end_s``.
+    shed_reason: Optional[str] = None
 
     @property
     def elapsed_s(self) -> float:
@@ -130,7 +137,8 @@ class ApplicationRun:
         self.deadline_s = deadline_s
         self.functional = functional
         self.record = RunRecord(
-            app=app.name, mode=mode, seed=seed, start_s=math.nan
+            app=app.name, mode=mode, seed=seed, start_s=math.nan,
+            deadline_s=deadline_s,
         )
         self._thread: Optional[PopcornThread] = None
         #: Working-set page lists keyed by machine-state size; the
@@ -263,6 +271,25 @@ class ApplicationRun:
             self.runtime.platform.now - self.record.start_s >= self.deadline_s
         )
 
+    def _deadline_at(self) -> Optional[float]:
+        """The absolute completion deadline (admission control input)."""
+        if self.deadline_s is None:
+            return None
+        return self.record.start_s + self.deadline_s
+
+    def _mark_deadline_expired(self) -> None:
+        """The deadline passed with calls still owed: the session exits
+        early and is accounted as shed, not completed."""
+        self.record.shed_reason = "deadline_expired"
+        resilience = self._resilience()
+        guard = (
+            getattr(resilience, "overload", None)
+            if resilience is not None
+            else None
+        )
+        if guard is not None:
+            guard.count_shed("deadline_expired")
+
     def _run_all_on_arm(self):
         """Vanilla Linux/ARM: the whole process on one ARM core."""
         arm = self.runtime.platform.arm.cpu
@@ -270,6 +297,7 @@ class ApplicationRun:
         yield arm.execute(self.profile.host_work_s * slowdown, tag=self.app.name)
         for _call in range(self.profile.calls_per_run):
             if self._deadline_passed():
+                self._mark_deadline_expired()
                 break
             call_cost = (
                 self.profile.per_call_host_s + self.profile.func_x86_s
@@ -287,11 +315,16 @@ class ApplicationRun:
         yield x86.execute(profile.host_work_s, tag=self.app.name)
         for _call in range(profile.calls_per_run):
             if self._deadline_passed():
+                self._mark_deadline_expired()
                 break
             if profile.per_call_host_s > 0:
                 yield x86.execute(profile.per_call_host_s, tag=self.app.name)
             call_started = self.runtime.platform.now
             target = yield from self._choose_target()
+            if target is None:
+                # Admission control shed this call: the session ends
+                # here, explicitly accounted via record.shed_reason.
+                break
             yield from self._execute_function(target)
             # The serving target may differ from the decision (FPGA
             # fallback); the record's tail is what actually ran.
@@ -321,7 +354,15 @@ class ApplicationRun:
             resilience.config.request_timeout_s if resilience is not None else None
         )
         try:
-            reply = self.runtime.server.request(self.app.name)
+            reply = self.runtime.server.request(
+                self.app.name, deadline_at=self._deadline_at()
+            )
+        except RequestShed as exc:
+            # Admission control refused the work. No local fallback —
+            # shedding means *not* doing the work; the caller ends the
+            # session with the reason on the record.
+            self.record.shed_reason = exc.reason
+            return None
         except SchedulerUnavailable:
             # Daemon down before we could even enqueue: decide locally.
             self._count_fallback("scheduler_down")
@@ -576,7 +617,11 @@ class ApplicationRun:
 
     def _arm_next_call(self) -> None:
         try:
-            if self._calls_left <= 0 or self._deadline_passed():
+            if self._calls_left <= 0:
+                self._chain_finish()
+                return
+            if self._deadline_passed():
+                self._mark_deadline_expired()
                 self._chain_finish()
                 return
             self._call_started = self.runtime.platform.now
@@ -605,7 +650,11 @@ class ApplicationRun:
 
     def _next_call(self) -> None:
         try:
-            if self._calls_left <= 0 or self._deadline_passed():
+            if self._calls_left <= 0:
+                self._chain_finish()
+                return
+            if self._deadline_passed():
+                self._mark_deadline_expired()
                 self._chain_finish()
                 return
             per_call = self.profile.per_call_host_s
@@ -642,7 +691,15 @@ class ApplicationRun:
                 resilience.config.request_timeout_s if resilience is not None else None
             )
             try:
-                reply = self.runtime.server.request(self.app.name)
+                reply = self.runtime.server.request(
+                    self.app.name, deadline_at=self._deadline_at()
+                )
+            except RequestShed as exc:
+                # Mirrors _choose_target: a shed call ends the session
+                # (no local fallback), reason on the record.
+                self.record.shed_reason = exc.reason
+                self._chain_finish()
+                return
             except SchedulerUnavailable:
                 self._count_fallback("scheduler_down")
                 self._dispatch(Target.X86)

@@ -25,7 +25,7 @@ from repro.thresholds import ThresholdTable
 from repro.types import Target
 from repro.xrt import XRTDevice
 
-__all__ = ["SchedulerServer", "SchedulerUnavailable", "ServerStats"]
+__all__ = ["RequestShed", "SchedulerServer", "SchedulerUnavailable", "ServerStats"]
 
 #: One-way userspace socket latency on the host (localhost TCP).
 DEFAULT_SOCKET_LATENCY_S = 50e-6
@@ -42,6 +42,19 @@ class SchedulerUnavailable(RuntimeError):
     x86 decision rather than blocking forever on a reply that will
     never come. Subclasses :class:`RuntimeError` so pre-existing
     callers that caught the old generic error keep working."""
+
+
+class RequestShed(RuntimeError):
+    """The admission controller refused this request (see
+    :class:`~repro.faults.resilience.OverloadGuard`). Deliberately NOT
+    a :class:`SchedulerUnavailable`: a shed request must not fall back
+    to a local x86 run — the whole point of shedding is to refuse the
+    work, so clients record the shed reason and terminate the session
+    instead."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"request shed by overload protection ({reason})")
+        self.reason = reason
 
 
 class ServerStats:
@@ -320,12 +333,21 @@ class SchedulerServer:
         sim.defer(latency, decide_and_reply)
 
     # -- client API ------------------------------------------------------------
-    def request(self, app_name: str) -> Event:
+    def request(self, app_name: str, deadline_at: Optional[float] = None) -> Event:
         """Client-side call: fires with the chosen :class:`Target`.
 
         Raises :class:`SchedulerUnavailable` when the daemon is not
         running (never started, or stopped), so callers fail fast
         instead of blocking forever on a reply that can never arrive.
+
+        With overload protection configured
+        (:class:`~repro.faults.resilience.OverloadConfig`), the request
+        first passes admission control and may raise
+        :class:`RequestShed` instead: the brownout ladder is at its
+        shed rung, the bounded admission queue is full, or —
+        ``deadline_at`` given — the estimated queueing delay already
+        forfeits the deadline. Without a guard ``deadline_at`` is
+        ignored and every request is admitted, exactly as before.
         """
         if not self._running:
             raise SchedulerUnavailable(
@@ -333,16 +355,56 @@ class SchedulerServer:
                 "should fall back to a local x86 decision"
             )
         sim = self.platform.sim
+        guard = self._overload_guard()
+        if guard is not None:
+            guard.update(self.platform.x86_load + 1)
+            # Two socket hops plus one hop of headroom per request
+            # already waiting: the admission queue's drain time is what
+            # a deadline-doomed request would spend to learn nothing.
+            estimate = (
+                self.socket_latency_s
+                * self._reply_delay_factor
+                * (2.0 + guard.depth)
+            )
+            reason = guard.admit(sim.now, deadline_at, estimate)
+            if reason is not None:
+                guard.count_shed(reason)
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "scheduler",
+                        f"{app_name}: shed ({reason})",
+                        app=app_name,
+                        reason=reason,
+                    )
+                raise RequestShed(reason)
+            guard.enqueued()
         reply = sim.event()
         enqueued_at = sim.now
 
         def observe(ev: Event) -> None:
+            if guard is not None:
+                guard.dequeued()
             if ev.ok:
                 self._roundtrip.observe(sim.now - enqueued_at)
 
         reply.callbacks.append(observe)
         self._requests.offer((app_name, reply))
         return reply
+
+    def _overload_guard(self):
+        """The resilience policy's :class:`OverloadGuard`, if any."""
+        if self.resilience is None:
+            return None
+        return getattr(self.resilience, "overload", None)
+
+    def admission_snapshot(self) -> dict[str, float]:
+        """The backpressure view gossiped in a fleet's
+        :class:`~repro.fleet.gossip.LoadDigest`: admission queue depth
+        plus the brownout rung (0 when unprotected)."""
+        guard = self._overload_guard()
+        if guard is None:
+            return {"queue_depth": 0.0, "brownout": 0.0}
+        return guard.snapshot()
 
     def set_reply_delay_factor(self, factor: float) -> None:
         """Multiply the socket latency by ``factor`` (1.0 restores
@@ -370,6 +432,30 @@ class SchedulerServer:
         # executes the scheduler-client call, so it counts toward the
         # x86 CPU load even though it holds no compute job right now.
         load = self.platform.x86_load + 1
+        guard = self._overload_guard()
+        if guard is not None:
+            guard.update(load)
+            if guard.x86_only:
+                # Brownout rung 1+: keep serving, but pin everything to
+                # the x86 host — accelerator occupancy (FPGA runs, ARM
+                # queueing) is what the ladder is protecting, and x86
+                # is the one target that can always absorb more load
+                # (degraded, not down).
+                decision = Decision(
+                    target=Target.X86, reconfigure=False, rule="brownout-x86"
+                )
+                self.stats._count_decision(decision)
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        "scheduler",
+                        f"{app_name}: load={load} -> {decision.target} "
+                        f"({decision.rule})",
+                        app=app_name,
+                        load=load,
+                        target=str(decision.target),
+                        rule=decision.rule,
+                    )
+                return decision
         available = bool(entry.kernel_name) and self.xrt.has_kernel(entry.kernel_name)
         if available and self.resilience is not None:
             # A quarantined kernel is treated as absent: Algorithm 2

@@ -658,6 +658,221 @@ def _scenario_chaos_stress(seed: int, quick: bool, ctx: BenchContext):
     return events, sim_seconds, report.lines, extra
 
 
+#: Flash-crowd shape knobs (shared by the scenario and its committed
+#: chaos plan; see benchmarks/flash_crowd_plan.json).
+_FLASH_HORIZON_S = 30.0
+_FLASH_SPIKE_AT_S = 10.0
+_FLASH_SPIKE_DURATION_S = 5.0
+_FLASH_SPIKE_FACTOR = 10.0
+_FLASH_DEADLINE_S = 15.0
+_FLASH_GOODPUT_FLOOR = 0.5
+#: Resident background processes during the crowd (kept below the
+#: ladder's exit thresholds so brownout can actually clear).
+_FLASH_BACKGROUND = 10
+
+
+def flash_crowd_plan():
+    """The faults that strike *inside* the flash-crowd spike window:
+    the FPGA drops off the bus mid-surge and the scheduler's replies
+    crawl right after — overload protection has to ride out both.
+    Committed as ``benchmarks/flash_crowd_plan.json`` for the CLI."""
+    from repro.faults import FaultPlan, FaultSpec
+
+    return FaultPlan(
+        specs=(
+            FaultSpec(at_s=11.0, kind="device_crash", duration_s=3.0),
+            FaultSpec(at_s=12.0, kind="server_slow", duration_s=2.0, factor=20.0),
+        ),
+        seed=0,
+    )
+
+
+def _flash_crowd_inputs(seed: int, quick: bool):
+    """The flash_crowd scenario's shared inputs: the generated trace,
+    the committed fault plan, the overload guard, and the SLO bar.
+
+    The crowd is the *interactive* benchmark tier (face detection and
+    digit recognition) — the apps with latency SLOs a flash crowd can
+    actually violate; the long-running batch apps would dominate every
+    p99 regardless of protection. The guard's working lever here is
+    deadline-aware shedding with a load-proportional completion
+    estimate (``deadline_load_cost_s``): it sheds exactly the clients
+    whose deadlines are already forfeit, which is what pulls the
+    admitted tail back under the SLO. The ladder rungs sit high
+    (x86-only at 70, shed at 120) as the catastrophic-regime backstop —
+    forcing x86-only *earlier* would take the FPGA out of service and
+    make the tail worse, not better.
+    """
+    from repro.faults import OverloadConfig, ResilienceConfig
+    from repro.traffic import SLOTarget, SpikeWindow, TrafficSpec, generate_trace
+
+    spec = TrafficSpec(
+        apps=("digit.500", "facedet.320", "facedet.640"),
+        base_rate_per_s=2.0 if quick else 3.0,
+        horizon_s=_FLASH_HORIZON_S,
+        diurnal_period_s=_FLASH_HORIZON_S,
+        diurnal_amplitude=0.4,
+        spikes=(
+            SpikeWindow(
+                at_s=_FLASH_SPIKE_AT_S,
+                duration_s=_FLASH_SPIKE_DURATION_S,
+                factor=_FLASH_SPIKE_FACTOR,
+            ),
+        ),
+        calls_alpha=1.5,
+        calls_max=4,
+        deadline_s=_FLASH_DEADLINE_S,
+        seed=seed,
+    )
+    trace = generate_trace(spec)
+    protected = ResilienceConfig(
+        overload=OverloadConfig(
+            x86_only_enter_load=70.0,
+            x86_only_exit_load=40.0,
+            shed_enter_load=120.0,
+            shed_exit_load=60.0,
+            deadline_load_cost_s=0.25,
+        )
+    )
+    slo = tuple(
+        SLOTarget(app, p99_latency_s=_FLASH_DEADLINE_S, goodput_floor=0.3)
+        for app in spec.apps
+    )
+    return trace, flash_crowd_plan(), protected, slo
+
+
+def _scenario_flash_crowd(seed: int, quick: bool, ctx: BenchContext):
+    """Overload shape: a trace-driven flash crowd over a mid-surge
+    device crash and a slow-scheduler window.
+
+    A seeded open-loop trace (diurnal base load, one 10x spike,
+    heavy-tailed session lengths, per-client deadlines) is replayed
+    twice through the chaos harness:
+
+    * **protected** — admission control, deadline-aware shedding, and
+      the brownout ladder armed (``ResilienceConfig(overload=...)``),
+      judged by the brownout contract: goodput over the floor, every
+      shed client explicitly accounted, admitted outcomes bit-identical
+      to the fault-free leg, and every app's SLO met;
+    * **unprotected** — the identical trace and faults with the
+      overload guard off. The point of this leg is to *fail* the p99
+      SLO: it proves the spike is genuinely lethal and the protected
+      leg's pass is the guard's doing, not a tame workload. Lethality
+      is a property of the *committed* trace, so the assertion is
+      pinned to the bench's default seed; alternate seeds (the queue
+      differential runs every scenario at seed 5) still execute the
+      control leg and record its scores, they just don't demand a
+      violation from whatever crowd that seed happens to draw.
+
+    The protected harness also re-runs with its legs in two pool
+    workers and must match the serial report byte for byte (shed
+    decisions and SLO scores are part of the checksummed payload).
+    The before/after p99s and shed accounting land in ``extra``.
+    """
+    from repro.faults import BrownoutCriteria, run_chaos
+
+    trace, plan, protected_config, slo = _flash_crowd_inputs(seed, quick)
+    brownout = BrownoutCriteria(goodput_floor=_FLASH_GOODPUT_FLOOR)
+
+    started = time.perf_counter()
+    report = run_chaos(
+        plan=plan, seed=seed, config=protected_config, jobs=1,
+        background=_FLASH_BACKGROUND, traffic=trace, brownout=brownout,
+        slo=slo, horizon_s=_FLASH_HORIZON_S,
+    )
+    serial_wall = time.perf_counter() - started
+    if not report.ok:
+        raise AssertionError(
+            "flash_crowd broke the brownout contract with overload "
+            "protection armed:\n" + report.to_text()
+        )
+    slo_failures = [
+        app for app, score in report.slo.items() if score["violations"]
+    ]
+    if slo_failures:
+        raise AssertionError(
+            "flash_crowd violated SLOs with overload protection armed "
+            f"({', '.join(sorted(slo_failures))}):\n" + report.to_text()
+        )
+
+    warm_pool(2)
+    started = time.perf_counter()
+    parallel = run_chaos(
+        plan=plan, seed=seed, config=protected_config, jobs=2,
+        background=_FLASH_BACKGROUND, traffic=trace, brownout=brownout,
+        slo=slo, horizon_s=_FLASH_HORIZON_S,
+    )
+    parallel_wall = time.perf_counter() - started
+    serial_dict, parallel_dict = report.to_dict(), parallel.to_dict()
+    for volatile in ("wall_s", "baseline_wall_s", "events_per_sec", "mode"):
+        serial_dict.pop(volatile)
+        parallel_dict.pop(volatile)
+    if parallel.lines != report.lines or parallel_dict != serial_dict:
+        raise AssertionError(
+            "parallel flash_crowd legs diverged from serial execution — "
+            "shed decisions or SLO scores are not replay-stable"
+        )
+
+    # The control leg: same trace, same faults, overload guard off.
+    unprotected = run_chaos(
+        plan=plan, seed=seed, config=None, jobs=1,
+        background=_FLASH_BACKGROUND, traffic=trace, slo=slo,
+        horizon_s=_FLASH_HORIZON_S,
+    )
+    violated = sorted(
+        app
+        for app, score in unprotected.slo.items()
+        if "p99_latency" in score["violations"]
+    )
+    if not violated and seed == 0:
+        raise AssertionError(
+            "flash_crowd's unprotected control leg met every p99 SLO — "
+            "the spike is not stressing the system and the protected "
+            "leg proves nothing:\n" + unprotected.to_text()
+        )
+
+    def _p99s(chaos_report):
+        return {
+            app: score["p99_latency_s"]
+            for app, score in sorted(chaos_report.slo.items())
+        }
+
+    extra = {
+        "clients": report.clients,
+        "spike_factor": _FLASH_SPIKE_FACTOR,
+        "goodput_floor": _FLASH_GOODPUT_FLOOR,
+        "protected_goodput": round(report.completion_rate, 4),
+        "shed": dict(sorted(report.shed.items())),
+        "unaccounted": report.unaccounted,
+        "protected_p99_s": _p99s(report),
+        "unprotected_p99_s": _p99s(unprotected),
+        "unprotected_p99_violations": violated,
+        "unprotected_goodput": round(unprotected.completion_rate, 4),
+        "parallel_mode": parallel.mode,
+        "legs_serial_wall_s": round(serial_wall, 6),
+        "legs_parallel_wall_s": round(parallel_wall, 6),
+        "parallel_speedup": round(serial_wall / parallel_wall, 2)
+        if parallel_wall > 0 else 0.0,
+    }
+    events = (
+        report.events
+        + report.baseline_events
+        + parallel.events
+        + parallel.baseline_events
+        + unprotected.events
+        + unprotected.baseline_events
+    )
+    sim_seconds = (
+        report.sim_seconds
+        + report.baseline_sim_seconds
+        + parallel.sim_seconds
+        + parallel.baseline_sim_seconds
+        + unprotected.sim_seconds
+        + unprotected.baseline_sim_seconds
+    )
+    return events, sim_seconds, report.lines, extra
+
+
 #: name -> callable(seed, quick, ctx) ->
 #: (events, sim_seconds, checksum_lines[, extra])
 SCENARIOS: dict[str, Callable[..., tuple]] = {
@@ -669,6 +884,7 @@ SCENARIOS: dict[str, Callable[..., tuple]] = {
     "cohort_stress": _scenario_cohort_stress,
     "chaos_stress": _scenario_chaos_stress,
     "fleet_stress": _scenario_fleet_stress,
+    "flash_crowd": _scenario_flash_crowd,
 }
 
 

@@ -17,13 +17,21 @@ Layout:
 
 from repro.faults.cohort import resolve_cohort_faults
 from repro.faults.fleet import FleetFaultPlan, fleet_fault_seeds
-from repro.faults.harness import ChaosReport, default_plan, run_chaos
+from repro.faults.harness import (
+    BrownoutCriteria,
+    ChaosReport,
+    default_plan,
+    run_chaos,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultPlanError, FaultSpec
 from repro.faults.resilience import (
     FALLBACK_REASONS,
+    SHED_REASONS,
     BreakerState,
     CircuitBreaker,
+    OverloadConfig,
+    OverloadGuard,
     ResilienceConfig,
     ResiliencePolicy,
 )
@@ -31,7 +39,9 @@ from repro.faults.resilience import (
 __all__ = [
     "FAULT_KINDS",
     "FALLBACK_REASONS",
+    "SHED_REASONS",
     "BreakerState",
+    "BrownoutCriteria",
     "ChaosReport",
     "CircuitBreaker",
     "FaultInjector",
@@ -40,6 +50,8 @@ __all__ = [
     "FaultSpec",
     "FleetFaultPlan",
     "fleet_fault_seeds",
+    "OverloadConfig",
+    "OverloadGuard",
     "ResilienceConfig",
     "ResiliencePolicy",
     "default_plan",

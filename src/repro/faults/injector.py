@@ -43,12 +43,30 @@ class FaultInjector:
         self.plan: Optional[FaultPlan] = None
         self.fired: list[FaultSpec] = []
 
-    def arm(self, plan: FaultPlan) -> None:
-        """Schedule every spec in ``plan``; a no-op for the empty plan."""
+    def arm(self, plan: FaultPlan, horizon_s: Optional[float] = None) -> None:
+        """Schedule every spec in ``plan``; a no-op for the empty plan.
+
+        ``horizon_s``, when given, is the scenario's end of time: a
+        spec striking at or past it would arm silently and never fire,
+        which is always a plan-authoring bug (the chaos harness passes
+        its workload horizon here). ``None`` keeps the historical
+        behaviour of trusting the plan.
+        """
         if self.plan is not None:
             raise FaultPlanError(
                 "this injector already armed a plan; use a fresh injector"
             )
+        if horizon_s is not None:
+            dead = [spec for spec in plan.specs if spec.at_s >= horizon_s]
+            if dead:
+                described = ", ".join(
+                    f"{spec.kind} at t={spec.at_s}" for spec in dead
+                )
+                raise FaultPlanError(
+                    f"{len(dead)} fault spec(s) lie entirely past the "
+                    f"{horizon_s}s scenario horizon and would never fire: "
+                    f"{described}"
+                )
         self.plan = plan
         for spec in plan.specs:
             if spec.at_s < self.sim.now:

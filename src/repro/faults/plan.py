@@ -153,6 +153,24 @@ class FaultPlan:
     def __post_init__(self):
         ordered = tuple(sorted(self.specs))
         object.__setattr__(self, "specs", ordered)
+        # Overlapping server outages on the same target are always a
+        # plan-authoring bug: the earlier window's restart would revive
+        # the daemon mid-way through the later window, so the plan
+        # would not describe what actually happens. Specs are sorted by
+        # strike time, so adjacent comparison finds every overlap.
+        last_outage: dict[str, FaultSpec] = {}
+        for spec in ordered:
+            if spec.kind != "server_outage":
+                continue
+            previous = last_outage.get(spec.target)
+            if previous is not None and spec.at_s < previous.end_s:
+                raise FaultPlanError(
+                    f"server_outage windows overlap: "
+                    f"[{previous.at_s}, {previous.end_s}) and "
+                    f"[{spec.at_s}, {spec.end_s}); merge them into one "
+                    "window or separate them in time"
+                )
+            last_outage[spec.target] = spec
 
     def __len__(self) -> int:
         return len(self.specs)

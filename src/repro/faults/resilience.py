@@ -36,8 +36,11 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "FALLBACK_REASONS",
+    "OverloadConfig",
+    "OverloadGuard",
     "ResilienceConfig",
     "ResiliencePolicy",
+    "SHED_REASONS",
 ]
 
 #: Every reason `fallbacks_total` is labeled with.
@@ -49,6 +52,72 @@ FALLBACK_REASONS: tuple[str, ...] = (
     "scheduler_timeout",  # no reply within request_timeout_s
     "scheduler_down",     # scheduler refused/failed the request
 )
+
+#: Every reason `shed_total` is labeled with. The first three are
+#: admission-time decisions by the :class:`OverloadGuard`; the last is
+#: the client-side exit when a deadline expires mid-session.
+SHED_REASONS: tuple[str, ...] = (
+    "brownout",           # ladder at SHED: refusing all new admissions
+    "queue_full",         # bounded admission queue at capacity
+    "deadline",           # queueing delay already forfeits the deadline
+    "deadline_expired",   # admitted, but the deadline passed mid-run
+)
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Admission-control and brownout-ladder knobs (all load counts are
+    the scheduler's x86 process-count view, the same quantity Algorithm
+    2 thresholds are written against).
+
+    The ladder is ``full -> x86-only -> shed`` with hysteresis: each
+    rung engages at its ``*_enter_load`` and only releases once the
+    load falls back to its ``*_exit_load``, so a load hovering around a
+    boundary cannot flap the service mode every request.
+    """
+
+    #: Requests allowed to wait in the scheduler's admission queue; the
+    #: next one sheds with reason "queue_full".
+    admission_queue_limit: int = 64
+    #: x86-only rung: stop steering work at the accelerators (their
+    #: occupancy is what melts first) but keep admitting.
+    x86_only_enter_load: float = 24.0
+    x86_only_exit_load: float = 16.0
+    #: Shed rung: refuse all new admissions until the load drains.
+    shed_enter_load: float = 48.0
+    shed_exit_load: float = 32.0
+    #: Safety margin for deadline-aware shedding: a request is shed
+    #: when ``now + estimate + margin`` already passes its deadline.
+    deadline_margin_s: float = 0.0
+    #: Load-proportional completion-time estimate for deadline-aware
+    #: shedding: each unit of x86 load adds this many seconds to the
+    #: estimate (processor sharing slows every resident run roughly
+    #: linearly in the run count). 0 keeps the estimate purely
+    #: socket-latency based.
+    deadline_load_cost_s: float = 0.0
+
+    def __post_init__(self):
+        if self.admission_queue_limit < 1:
+            raise ValueError("admission_queue_limit must be >= 1")
+        if self.x86_only_enter_load <= self.x86_only_exit_load:
+            raise ValueError(
+                "x86_only_enter_load must exceed x86_only_exit_load "
+                "(the hysteresis band must be non-empty)"
+            )
+        if self.shed_enter_load <= self.shed_exit_load:
+            raise ValueError(
+                "shed_enter_load must exceed shed_exit_load "
+                "(the hysteresis band must be non-empty)"
+            )
+        if self.shed_enter_load <= self.x86_only_enter_load:
+            raise ValueError(
+                "shed_enter_load must exceed x86_only_enter_load "
+                "(the ladder's rungs must be ordered)"
+            )
+        if self.deadline_margin_s < 0:
+            raise ValueError("deadline_margin_s must be >= 0")
+        if self.deadline_load_cost_s < 0:
+            raise ValueError("deadline_load_cost_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -76,6 +145,11 @@ class ResilienceConfig:
     #: Background reconfiguration retries after a programming failure.
     reconfig_retry_limit: int = 3
     reconfig_retry_backoff_s: float = 0.25
+    #: Overload protection (admission control + brownout ladder).
+    #: ``None`` — the default — disables it entirely: no admission
+    #: queue bound, no shedding, no new metric families, and behaviour
+    #: bit-identical to the pre-overload runtime.
+    overload: Optional["OverloadConfig"] = None
 
     def __post_init__(self):
         if self.kernel_retry_limit < 0:
@@ -278,6 +352,209 @@ class CircuitBreaker:
         return {key: state.state for key, state in sorted(self._states.items())}
 
 
+class OverloadGuard:
+    """The overload-protection state machine: brownout ladder plus the
+    bounded, deadline-aware admission queue accounting.
+
+    States are the ladder's rungs — ``full`` (0), ``x86-only`` (1),
+    ``shed`` (2) — driven by :meth:`update` from the scheduler's x86
+    load with hysteresis per :class:`OverloadConfig`. Like
+    :class:`BreakerState`, the numeric encoding doubles as a pull-mode
+    gauge (``brownout_state``), and the admission queue depth keeps
+    its own gauge-shaped aggregates (``admission_queue_depth``)
+    incrementally, sampled at snapshot time. Both families — plus
+    ``shed_total{reason}`` — exist only when a guard is constructed,
+    so runs without overload protection export exactly the metric set
+    they always did.
+    """
+
+    FULL, X86_ONLY, SHED = "full", "x86-only", "shed"
+    _VALUE = {FULL: 0.0, X86_ONLY: 1.0, SHED: 2.0}
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        config: OverloadConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.clock = clock
+        self.config = config
+        self.state = OverloadGuard.FULL
+        self.depth = 0             # requests waiting in the admission queue
+        self.transitions = 0       # ladder moves (any direction)
+        self._last_load = 0.0      # most recent load fed to update()
+        now = clock()
+        # brownout_state aggregates
+        self._b_t0 = now
+        self._b_last_t = now
+        self._b_value = 0.0
+        self._b_min = 0.0
+        self._b_max = 0.0
+        self._b_integral = 0.0
+        self._b_updates = 0
+        # admission_queue_depth aggregates
+        self._q_t0 = now
+        self._q_last_t = now
+        self._q_min = 0.0
+        self._q_max = 0.0
+        self._q_integral = 0.0
+        self._q_updates = 0
+        self._shed_children: dict[str, object] = {}
+        self._m_shed = None
+        if metrics is not None:
+            self._m_shed = metrics.counter(
+                "shed_total",
+                "requests refused by overload protection, by reason",
+                labelnames=("reason",),
+            )
+            metrics.gauge(
+                "brownout_state",
+                "brownout ladder rung (0 full, 1 x86-only, 2 shed)",
+            ).bind_sampler(self._brownout_snapshot)
+            metrics.gauge(
+                "admission_queue_depth",
+                "requests waiting in the scheduler admission queue",
+            ).bind_sampler(self._queue_snapshot)
+
+    # -- gauge samplers ------------------------------------------------------
+    def _brownout_snapshot(self) -> dict[str, float]:
+        now = self.clock()
+        elapsed = now - self._b_t0
+        integral = self._b_integral + self._b_value * (now - self._b_last_t)
+        return {
+            "value": self._b_value,
+            "min": self._b_min,
+            "max": self._b_max,
+            "time_weighted_mean": (
+                integral / elapsed if elapsed > 0 else self._b_value
+            ),
+            "updates": self._b_updates,
+        }
+
+    def _queue_snapshot(self) -> dict[str, float]:
+        now = self.clock()
+        depth = float(self.depth)
+        elapsed = now - self._q_t0
+        integral = self._q_integral + depth * (now - self._q_last_t)
+        return {
+            "value": depth,
+            "min": self._q_min,
+            "max": self._q_max,
+            "time_weighted_mean": integral / elapsed if elapsed > 0 else depth,
+            "updates": self._q_updates,
+        }
+
+    # -- the ladder ----------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        now = self.clock()
+        self._b_integral += self._b_value * (now - self._b_last_t)
+        self._b_last_t = now
+        self.state = state
+        self._b_value = OverloadGuard._VALUE[state]
+        self._b_min = min(self._b_min, self._b_value)
+        self._b_max = max(self._b_max, self._b_value)
+        self._b_updates += 1
+        self.transitions += 1
+
+    def update(self, load: float) -> str:
+        """Advance the ladder for the current x86 load; returns the
+        (possibly new) state. Hysteresis: rungs engage at their enter
+        threshold and release only at their lower exit threshold."""
+        cfg = self.config
+        self._last_load = float(load)
+        if self.state == OverloadGuard.FULL:
+            if load >= cfg.shed_enter_load:
+                self._transition(OverloadGuard.SHED)
+            elif load >= cfg.x86_only_enter_load:
+                self._transition(OverloadGuard.X86_ONLY)
+        elif self.state == OverloadGuard.X86_ONLY:
+            if load >= cfg.shed_enter_load:
+                self._transition(OverloadGuard.SHED)
+            elif load <= cfg.x86_only_exit_load:
+                self._transition(OverloadGuard.FULL)
+        else:  # SHED
+            if load <= cfg.shed_exit_load:
+                if load <= cfg.x86_only_exit_load:
+                    self._transition(OverloadGuard.FULL)
+                else:
+                    self._transition(OverloadGuard.X86_ONLY)
+        return self.state
+
+    @property
+    def x86_only(self) -> bool:
+        """While at (or above) the x86-only rung, Algorithm 2 is
+        short-circuited to the x86 target: accelerator occupancy is
+        what the brownout is protecting."""
+        return self.state != OverloadGuard.FULL
+
+    @property
+    def shedding(self) -> bool:
+        return self.state == OverloadGuard.SHED
+
+    @property
+    def brownout_level(self) -> int:
+        """The rung as an integer (what :class:`LoadDigest` carries)."""
+        return int(OverloadGuard._VALUE[self.state])
+
+    # -- admission -----------------------------------------------------------
+    def admit(
+        self,
+        now: float,
+        deadline_at: Optional[float] = None,
+        estimate_s: float = 0.0,
+    ) -> Optional[str]:
+        """Admission decision for one request: ``None`` to admit, else
+        the shed reason. Pure — counting and queue accounting are the
+        caller's (:meth:`count_shed` / :meth:`enqueued` /
+        :meth:`dequeued`)."""
+        if self.state == OverloadGuard.SHED:
+            return "brownout"
+        if self.depth >= self.config.admission_queue_limit:
+            return "queue_full"
+        estimate = (
+            estimate_s + self._last_load * self.config.deadline_load_cost_s
+        )
+        if (
+            deadline_at is not None
+            and now + estimate + self.config.deadline_margin_s >= deadline_at
+        ):
+            return "deadline"
+        return None
+
+    def count_shed(self, reason: str) -> None:
+        if self._m_shed is None:
+            return
+        child = self._shed_children.get(reason)
+        if child is None:
+            child = self._shed_children[reason] = self._m_shed.labels(
+                reason=reason
+            )
+        child.inc()
+
+    def _note_depth_change(self) -> None:
+        now = self.clock()
+        depth = float(self.depth)
+        self._q_integral += depth * (now - self._q_last_t)
+        self._q_last_t = now
+        self._q_updates += 1
+
+    def enqueued(self) -> None:
+        self._note_depth_change()
+        self.depth += 1
+        self._q_max = max(self._q_max, float(self.depth))
+
+    def dequeued(self) -> None:
+        self._note_depth_change()
+        self.depth = max(0, self.depth - 1)
+
+    def snapshot(self) -> dict[str, float]:
+        """The backpressure view a :class:`LoadDigest` carries."""
+        return {
+            "queue_depth": float(self.depth),
+            "brownout": float(self.brownout_level),
+        }
+
+
 class ResiliencePolicy:
     """The runtime's shared resilience brain.
 
@@ -328,6 +605,14 @@ class ResiliencePolicy:
             metrics=metrics,
             on_open=self._count_quarantine,
             on_close=self._on_breaker_close,
+        )
+        # Overload protection is opt-in: without a config the attribute
+        # stays None and the scheduler admits everything, exactly as
+        # before this layer existed.
+        self.overload: Optional[OverloadGuard] = (
+            OverloadGuard(clock, self.config.overload, metrics)
+            if self.config.overload is not None
+            else None
         )
 
     def _count_quarantine(self, key: str) -> None:
@@ -420,8 +705,11 @@ class ResiliencePolicy:
             "fallbacks": fallbacks,
             "fallbacks_total": total_fallbacks,
             "quarantines": quarantines,
+            # Zero invocations (empty cohort, or everything shed before
+            # reaching the runtime) is a real outcome under overload:
+            # report 0.0 goodput rather than pretending perfection.
             "goodput": (
-                (invocations - total_fallbacks) / invocations if invocations else 1.0
+                (invocations - total_fallbacks) / invocations if invocations else 0.0
             ),
             "breaker_states": self.breaker.states(),
         }

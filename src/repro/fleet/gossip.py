@@ -62,6 +62,12 @@ class LoadDigest:
     arm_active: float
     fpga_active: float
     fpga_reconfiguring: bool
+    #: Backpressure plane (PR 10): the node's admission-queue depth and
+    #: brownout rung (0 full, 1 x86-only, 2 shed) as of publication.
+    #: Zero for nodes without overload protection, keeping the digest
+    #: and the router's behaviour identical to the pre-overload fleet.
+    queue_depth: float = 0.0
+    brownout: int = 0
 
     @property
     def score(self) -> float:

@@ -55,6 +55,7 @@ class FleetNode:
     def digest(self, now: float) -> LoadDigest:
         """This node's gossip payload, stamped ``published_at=now``."""
         snapshot = self.runtime.load_snapshot()
+        admission = self.runtime.server.admission_snapshot()
         return LoadDigest(
             node=self.name,
             index=self.index,
@@ -63,6 +64,8 @@ class FleetNode:
             arm_active=snapshot["arm"]["value"],
             fpga_active=snapshot["fpga"]["value"],
             fpga_reconfiguring=bool(snapshot["fpga"]["reconfiguring"]),
+            queue_depth=admission["queue_depth"],
+            brownout=int(admission["brownout"]),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -170,9 +170,15 @@ class FleetRouter:
 
     def _overloaded(self, node: "FleetNode", candidates: "list[FleetNode]") -> bool:
         """Gossip-delta check: is ``node``'s stale score more than
-        ``rebalance_factor`` times the stale fleet minimum?"""
+        ``rebalance_factor`` times the stale fleet minimum? A published
+        brownout rung (>= 1) is treated as overloaded outright — the
+        node told the fleet it is degrading, so the router tries to
+        move the client *before* the node starts shedding, instead of
+        waiting for its load score to cross the rebalance ratio."""
         digest = self.gossip.digest(node.index)
         self.gossip.observe_staleness(digest)
+        if digest.brownout >= 1:
+            return True
         return digest.score > self.rebalance_factor * max(
             self._fleet_floor(candidates), 1.0
         )

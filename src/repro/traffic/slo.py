@@ -1,0 +1,190 @@
+"""SLO scoring for trace-driven runs (p99 latency, deadline-goodput).
+
+An :class:`SLOTracker` consumes finished per-client
+:class:`~repro.core.application.RunRecord`\\ s and scores each app
+against its :class:`SLOTarget`:
+
+- **p99 latency** — exact order-statistic p99 over the completed
+  (admitted, non-shed) clients' end-to-end latencies on the simulated
+  clock; violated when it exceeds ``p99_latency_s``.
+- **deadline-goodput** — the fraction of *all* clients (shed ones
+  included: a shed client is a denied client) that completed every
+  call within their deadline; violated when it drops below
+  ``goodput_floor``.
+
+Scores are pure functions of the run records, every float is rendered
+with ``repr`` in :meth:`SLOTracker.lines`, and the only side effect
+is the optional ``slo_violations_total{app}`` counter — so two
+replays of the same trace always produce byte-identical SLO lines,
+which is what lets the chaos harness checksum them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.metrics import MetricsRegistry
+
+__all__ = ["SLOReport", "SLOTarget", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Per-app objectives; ``None`` disables that objective."""
+
+    app: str
+    p99_latency_s: Optional[float] = None
+    goodput_floor: Optional[float] = None
+
+    def __post_init__(self):
+        if self.p99_latency_s is not None and self.p99_latency_s <= 0:
+            raise ValueError(
+                f"{self.app}: p99_latency_s must be positive, "
+                f"got {self.p99_latency_s!r}"
+            )
+        if self.goodput_floor is not None and not 0.0 <= self.goodput_floor <= 1.0:
+            raise ValueError(
+                f"{self.app}: goodput_floor must be in [0, 1], "
+                f"got {self.goodput_floor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One app's score: observed numbers plus the violated objectives."""
+
+    app: str
+    clients: int
+    completed: int
+    shed: int
+    deadline_hits: int
+    p99_latency_s: Optional[float]
+    goodput: float
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _p99(latencies: list[float]) -> Optional[float]:
+    """Exact p99 order statistic (no interpolation, hence replayable)."""
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    index = max(0, math.ceil(0.99 * len(ordered)) - 1)
+    return ordered[index]
+
+
+class SLOTracker:
+    """Scores run records against per-app :class:`SLOTarget`\\ s."""
+
+    def __init__(
+        self,
+        targets: Iterable[SLOTarget],
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.targets = {}
+        for target in targets:
+            if target.app in self.targets:
+                raise ValueError(f"duplicate SLO target for app {target.app!r}")
+            self.targets[target.app] = target
+        self._latencies: dict[str, list[float]] = {}
+        self._clients: dict[str, int] = {}
+        self._completed: dict[str, int] = {}
+        self._shed: dict[str, int] = {}
+        self._deadline_hits: dict[str, int] = {}
+        self._score_cache: Optional[dict[str, SLOReport]] = None
+        self._violations_counter = (
+            metrics.counter(
+                "slo_violations_total",
+                "SLO objectives violated, by application",
+                labelnames=("app",),
+            )
+            if metrics is not None
+            else None
+        )
+
+    def observe(self, record) -> None:
+        """Fold one finished client's :class:`RunRecord` into the score."""
+        app = record.app
+        self._score_cache = None
+        self._clients[app] = self._clients.get(app, 0) + 1
+        if getattr(record, "shed_reason", None) is not None:
+            self._shed[app] = self._shed.get(app, 0) + 1
+            return
+        if not record.finished:
+            return
+        latency = record.elapsed_s
+        self._completed[app] = self._completed.get(app, 0) + 1
+        self._latencies.setdefault(app, []).append(latency)
+        deadline = getattr(record, "deadline_s", None)
+        if deadline is None or latency <= deadline:
+            self._deadline_hits[app] = self._deadline_hits.get(app, 0) + 1
+
+    def observe_all(self, records: Iterable) -> None:
+        for record in records:
+            self.observe(record)
+
+    def score(self) -> dict[str, SLOReport]:
+        """Per-app reports for every app with a target or observations.
+
+        The result is memoized until the next :meth:`observe`, and the
+        ``slo_violations_total`` counter is only bumped on the first
+        computation — so ``score()`` and ``lines()`` can be mixed
+        freely without double counting.
+        """
+        if self._score_cache is not None:
+            return self._score_cache
+        apps = sorted(set(self.targets) | set(self._clients))
+        reports = {}
+        for app in apps:
+            clients = self._clients.get(app, 0)
+            completed = self._completed.get(app, 0)
+            shed = self._shed.get(app, 0)
+            hits = self._deadline_hits.get(app, 0)
+            p99 = _p99(self._latencies.get(app, []))
+            goodput = hits / clients if clients else 0.0
+            target = self.targets.get(app)
+            violations = []
+            if target is not None:
+                if (
+                    target.p99_latency_s is not None
+                    and p99 is not None
+                    and p99 > target.p99_latency_s
+                ):
+                    violations.append("p99_latency")
+                if (
+                    target.goodput_floor is not None
+                    and goodput < target.goodput_floor
+                ):
+                    violations.append("deadline_goodput")
+            if violations and self._violations_counter is not None:
+                self._violations_counter.labels(app=app).inc(len(violations))
+            reports[app] = SLOReport(
+                app=app,
+                clients=clients,
+                completed=completed,
+                shed=shed,
+                deadline_hits=hits,
+                p99_latency_s=p99,
+                goodput=goodput,
+                violations=tuple(violations),
+            )
+        self._score_cache = reports
+        return reports
+
+    def lines(self) -> list[str]:
+        """Deterministic per-app score lines (chaos checksum input)."""
+        out = []
+        for app, report in sorted(self.score().items()):
+            verdict = "ok" if report.ok else "+".join(report.violations)
+            out.append(
+                f"slo {app} clients={report.clients} "
+                f"completed={report.completed} shed={report.shed} "
+                f"p99={report.p99_latency_s!r} "
+                f"goodput={report.goodput!r} {verdict}"
+            )
+        return out

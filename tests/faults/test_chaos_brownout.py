@@ -1,0 +1,197 @@
+"""Chaos harness in brownout mode: trace-driven legs, shed accounting
+(every client completed, shed, or explicitly unaccounted), goodput
+floors, SLO scoring, and serial == parallel determinism."""
+
+import pytest
+
+from repro.faults import (
+    BrownoutCriteria,
+    FaultPlan,
+    FaultSpec,
+    OverloadConfig,
+    ResilienceConfig,
+    run_chaos,
+)
+from repro.traffic import SLOTarget, SpikeWindow, Trace, TrafficSpec, generate_trace
+
+pytestmark = pytest.mark.metrics
+
+_HORIZON_S = 10.0
+
+
+def _trace(seed=0, rate=1.5):
+    return generate_trace(
+        TrafficSpec(
+            apps=("digit.500", "facedet.320"),
+            base_rate_per_s=rate,
+            horizon_s=_HORIZON_S,
+            diurnal_period_s=_HORIZON_S,
+            diurnal_amplitude=0.3,
+            spikes=(SpikeWindow(at_s=3.0, duration_s=2.0, factor=6.0),),
+            calls_alpha=1.5,
+            calls_max=3,
+            deadline_s=8.0,
+            seed=seed,
+        )
+    )
+
+
+def _plan():
+    return FaultPlan(
+        specs=(FaultSpec(at_s=4.0, kind="device_crash", duration_s=1.5),),
+        seed=0,
+    )
+
+
+def _config(**overrides):
+    kwargs = dict(
+        x86_only_enter_load=70.0,
+        x86_only_exit_load=40.0,
+        shed_enter_load=120.0,
+        shed_exit_load=60.0,
+        deadline_load_cost_s=0.25,
+    )
+    kwargs.update(overrides)
+    return ResilienceConfig(overload=OverloadConfig(**kwargs))
+
+
+class TestCriteria:
+    def test_default_floor(self):
+        assert BrownoutCriteria().goodput_floor == 0.5
+
+    @pytest.mark.parametrize("floor", [-0.1, 1.1])
+    def test_bad_floor_rejected(self, floor):
+        with pytest.raises(ValueError):
+            BrownoutCriteria(goodput_floor=floor)
+
+
+class TestAccounting:
+    def _report(self, **kwargs):
+        defaults = dict(
+            plan=_plan(),
+            seed=0,
+            config=_config(),
+            traffic=_trace(),
+            background=5,
+            brownout=BrownoutCriteria(goodput_floor=0.3),
+            slo=(SLOTarget(app="digit.500", p99_latency_s=30.0),),
+            horizon_s=_HORIZON_S,
+        )
+        defaults.update(kwargs)
+        return run_chaos(**defaults)
+
+    def test_every_client_accounted(self):
+        report = self._report()
+        trace = _trace()
+        assert report.clients == len(trace)
+        assert (
+            report.completed + report.shed_total + report.unaccounted
+            == report.clients
+        )
+        assert report.unaccounted == 0
+        assert report.ok, report.to_text()
+
+    def _force_shed_config(self):
+        """Rungs below one in-flight client: every admission sheds."""
+        return _config(
+            x86_only_enter_load=0.6,
+            x86_only_exit_load=0.3,
+            shed_enter_load=0.9,
+            shed_exit_load=0.8,
+            deadline_load_cost_s=0.0,
+        )
+
+    def test_shed_reasons_are_known(self):
+        from repro.faults import SHED_REASONS
+
+        report = self._report(config=self._force_shed_config())
+        assert report.shed.get("brownout", 0) > 0
+        assert set(report.shed) <= set(SHED_REASONS)
+
+    def test_goodput_floor_enforced(self):
+        # Mass shedding under a floor the run cannot reach: the report
+        # fails on goodput even though every client is accounted.
+        report = self._report(
+            config=self._force_shed_config(),
+            brownout=BrownoutCriteria(goodput_floor=0.9),
+        )
+        assert report.completion_rate < 0.9
+        assert report.unaccounted == 0
+        assert not report.ok
+        assert report.brownout_floor == 0.9
+
+    def test_report_serializes_brownout_fields(self):
+        report = self._report()
+        payload = report.to_dict()
+        assert payload["shed"] == report.shed
+        assert payload["unaccounted"] == 0
+        assert payload["brownout_floor"] == 0.3
+        assert "digit.500" in payload["slo"]
+        score = payload["slo"]["digit.500"]
+        assert set(score) >= {
+            "clients",
+            "completed",
+            "shed",
+            "goodput",
+            "violations",
+        }
+
+    def test_text_mentions_brownout_and_slo(self):
+        text = self._report().to_text()
+        assert "brownout:" in text
+        assert "slo digit.500" in text
+
+    def test_replay_is_byte_identical(self):
+        first = self._report()
+        second = self._report()
+        assert first.lines == second.lines
+        assert first.shed == second.shed
+        assert first.slo == second.slo
+
+    def test_serial_matches_parallel(self):
+        serial = self._report(jobs=1).to_dict()
+        parallel = self._report(jobs=2).to_dict()
+        for volatile in ("wall_s", "baseline_wall_s", "events_per_sec", "mode"):
+            serial.pop(volatile, None)
+            parallel.pop(volatile, None)
+        assert serial == parallel
+
+
+class TestTraceLegs:
+    def test_trace_sets_the_client_count(self):
+        trace = _trace()
+        report = run_chaos(
+            plan=FaultPlan.empty(), seed=0, traffic=trace, background=2
+        )
+        assert report.clients == len(trace)
+
+    def test_unprotected_trace_run_still_accounts_deadline_exits(self):
+        # Without a guard the only shed reason possible is the client's
+        # own deadline-expired exit; nothing may vanish unaccounted.
+        trace = _trace(rate=3.0)
+        report = run_chaos(
+            plan=FaultPlan.empty(), seed=0, traffic=trace, background=2
+        )
+        assert set(report.shed) <= {"deadline_expired"}
+        assert report.unaccounted == 0
+
+    def test_empty_trace_is_a_zero_client_run(self):
+        empty = Trace(entries=(), seed=0, horizon_s=1.0)
+        report = run_chaos(
+            plan=FaultPlan.empty(),
+            seed=0,
+            traffic=empty,
+            background=1,
+            brownout=BrownoutCriteria(goodput_floor=0.5),
+        )
+        assert report.clients == 0
+        # Zero clients is not vacuous success: completion_rate is 0.0.
+        assert report.completion_rate == 0.0
+        assert report.shed == {}
+        assert report.unaccounted == 0
+
+    def test_fixed_clients_mode_unchanged(self):
+        # The historical clients=N mode still works alongside traces.
+        report = run_chaos(plan=FaultPlan.empty(), seed=1, clients=5, background=2)
+        assert report.clients == 5
+        assert report.completion_rate == 1.0

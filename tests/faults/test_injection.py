@@ -479,3 +479,136 @@ class TestFaultInjector:
         assert runtime.xrt.pending_run_failures(KERNEL) == 2
         assert runtime.platform.fpga.pending_reconfig_failures == 1
         assert runtime.metrics.get("faults_injected_total").value == 3
+
+
+class TestInjectorHorizon:
+    def _plan(self, at_s):
+        return FaultPlan(
+            specs=(FaultSpec(at_s=at_s, kind="server_outage", duration_s=0.5),)
+        )
+
+    def test_spec_past_horizon_rejected(self):
+        injector = FaultInjector(build_system(["digit.500"]))
+        with pytest.raises(FaultPlanError, match="past the"):
+            injector.arm(self._plan(at_s=10.0), horizon_s=5.0)
+
+    def test_spec_at_exact_horizon_rejected(self):
+        # A fault at t == horizon never fires: arming it is a plan bug.
+        injector = FaultInjector(build_system(["digit.500"]))
+        with pytest.raises(FaultPlanError, match="past the"):
+            injector.arm(self._plan(at_s=5.0), horizon_s=5.0)
+
+    def test_error_names_the_dead_specs(self):
+        injector = FaultInjector(build_system(["digit.500"]))
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(at_s=1.0, kind="device_crash", duration_s=0.5),
+                FaultSpec(at_s=9.0, kind="server_outage", duration_s=0.5),
+                FaultSpec(at_s=11.0, kind="server_slow", duration_s=0.5, factor=2.0),
+            )
+        )
+        with pytest.raises(FaultPlanError) as excinfo:
+            injector.arm(plan, horizon_s=8.0)
+        message = str(excinfo.value)
+        assert "server_outage at t=9.0" in message
+        assert "server_slow at t=11.0" in message
+        assert "device_crash" not in message
+
+    def test_rejection_leaves_the_injector_reusable(self):
+        injector = FaultInjector(build_system(["digit.500"]))
+        with pytest.raises(FaultPlanError):
+            injector.arm(self._plan(at_s=10.0), horizon_s=5.0)
+        injector.arm(self._plan(at_s=1.0), horizon_s=5.0)
+        assert injector.plan is not None
+
+    def test_in_horizon_plan_armed(self):
+        injector = FaultInjector(build_system(["digit.500"]))
+        injector.arm(self._plan(at_s=1.0), horizon_s=5.0)
+        assert injector.plan is not None
+
+    def test_no_horizon_trusts_the_plan(self):
+        injector = FaultInjector(build_system(["digit.500"]))
+        injector.arm(self._plan(at_s=1e9))
+        assert injector.plan is not None
+
+
+class TestDisabledTimeout:
+    """request_timeout_s=None: the client has no timeout budget — a
+    slow server blocks the call (no local fallback) and a reply that
+    fails outright fails the run, instead of degrading silently."""
+
+    def _runtime(self):
+        return build_system(
+            ["digit.2000"],
+            resilience=ResilienceConfig(request_timeout_s=None),
+        )
+
+    def test_slow_server_blocks_instead_of_falling_back(self):
+        runtime = self._runtime()
+        sim = runtime.platform.sim
+        sim.run_until_event(runtime.preload_fpga())
+        runtime.server.set_reply_delay_factor(1e6)
+        done = runtime.launch("digit.2000", mode=SystemMode.XAR_TREK)
+        done.defused = True
+        # Run far past any default timeout budget: the client is still
+        # parked on the reply, and no timeout fallback was counted.
+        sim.run(until=sim.now + 10.0)
+        assert not done.triggered
+        fallbacks = runtime.resilience.summary()["fallbacks"]
+        assert "scheduler_timeout" not in fallbacks
+        # The (slow) reply eventually arrives and the run completes
+        # with the server's decision — blocked, not broken.
+        runtime.server.set_reply_delay_factor(1.0)
+        record = sim.run_until_event(done)
+        assert record.finished
+        assert record.targets[0] == Target.FPGA
+
+    def test_never_started_server_still_fails_fast(self):
+        # stop() makes request() raise synchronously; that path is
+        # timeout-independent and must keep working when the timeout
+        # is disabled (the client cannot wait forever on a daemon that
+        # can never reply).
+        runtime = self._runtime()
+        sim = runtime.platform.sim
+        sim.run_until_event(runtime.preload_fpga())
+        runtime.server.stop()
+        record = sim.run_until_event(
+            runtime.launch("digit.2000", mode=SystemMode.XAR_TREK)
+        )
+        assert record.finished
+        assert record.targets == [Target.X86]
+        fallbacks = runtime.resilience.summary()["fallbacks"]
+        assert fallbacks.get("scheduler_down") == 1
+
+    def test_restart_drains_a_request_handed_to_the_stale_loop(self):
+        # Generation guard: a request handed to the parked serve loop
+        # right before a stop()/start() cycle is re-queued *behind* the
+        # stale loop's sentinel and served by the restarted loop — the
+        # client (which cannot time out) must still get its reply.
+        runtime = self._runtime()
+        sim = runtime.platform.sim
+        sim.run_until_event(runtime.preload_fpga())
+        # The store hands the item straight to the parked getter; the
+        # stale loop has it in hand when the daemon cycles.
+        reply = runtime.server.request("digit.2000")
+        runtime.server.stop()
+        runtime.server.start()
+        target = sim.run_until_event(reply)
+        assert target == Target.FPGA
+
+    @pytest.mark.parametrize("client_path", ["chain", "generator"])
+    def test_restart_mid_run_completes_without_timeout(
+        self, monkeypatch, client_path
+    ):
+        monkeypatch.setenv("REPRO_CLIENT_PATH", client_path)
+        runtime = self._runtime()
+        sim = runtime.platform.sim
+        sim.run_until_event(runtime.preload_fpga())
+        done = runtime.launch("digit.2000", mode=SystemMode.XAR_TREK)
+        runtime.server.stop()
+        runtime.server.start()
+        record = sim.run_until_event(done)
+        assert record.finished
+        assert record.targets == [Target.FPGA]
+        fallbacks = runtime.resilience.summary()["fallbacks"]
+        assert "scheduler_timeout" not in fallbacks

@@ -117,6 +117,59 @@ class TestFaultPlan:
         assert a == b
 
 
+class TestOutageOverlap:
+    def _outage(self, at_s, duration_s, target=""):
+        return FaultSpec(
+            at_s=at_s, kind="server_outage", duration_s=duration_s, target=target
+        )
+
+    def test_overlapping_outages_on_same_target_rejected(self):
+        with pytest.raises(FaultPlanError, match="overlap"):
+            FaultPlan(
+                specs=(self._outage(1.0, 3.0), self._outage(2.0, 1.0))
+            )
+
+    def test_overlap_found_regardless_of_construction_order(self):
+        with pytest.raises(FaultPlanError, match="overlap"):
+            FaultPlan(
+                specs=(self._outage(2.0, 1.0), self._outage(1.0, 3.0))
+            )
+
+    def test_touching_windows_are_legal(self):
+        # [1, 3) then [3, 4): restart at 3.0 and the next window begins.
+        plan = FaultPlan(specs=(self._outage(1.0, 2.0), self._outage(3.0, 1.0)))
+        assert len(plan) == 2
+
+    def test_different_targets_may_overlap(self):
+        plan = FaultPlan(
+            specs=(
+                self._outage(1.0, 3.0, target="node0"),
+                self._outage(2.0, 3.0, target="node1"),
+            )
+        )
+        assert len(plan) == 2
+
+    def test_other_window_kinds_may_overlap(self):
+        # Only server_outage windows revive each other's target; crash
+        # windows on the device are injector-mediated and may nest.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(at_s=1.0, kind="device_crash", duration_s=3.0),
+                FaultSpec(at_s=2.0, kind="device_crash", duration_s=3.0),
+            )
+        )
+        assert len(plan) == 2
+
+    def test_overlap_caught_at_json_load_too(self):
+        # Hand-editing a JSON plan into an overlap is caught at load.
+        import json
+
+        doc = json.loads(FaultPlan(specs=(self._outage(1.0, 2.0),)).to_json())
+        doc["specs"].append(dict(doc["specs"][0], at_s=2.0))
+        with pytest.raises(FaultPlanError, match="overlap"):
+            FaultPlan.from_json(json.dumps(doc))
+
+
 class TestGeneration:
     def test_same_seed_same_plan(self):
         kwargs = dict(horizon_s=30.0, kernels=("k1", "k2"))

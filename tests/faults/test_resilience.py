@@ -189,4 +189,6 @@ class TestResiliencePolicy:
         assert summary["fallbacks"] == {"kernel_fault": 1}
         assert summary["quarantines"] == 1
         assert summary["breaker_states"] == {"kernel:k1": "open"}
-        assert summary["goodput"] == 1.0  # no invocations recorded yet
+        # Zero invocations is a real outcome (everything shed at the
+        # gate), so goodput reports 0.0 rather than a vacuous 1.0.
+        assert summary["goodput"] == 0.0

@@ -1,0 +1,96 @@
+"""Device-level backpressure in the fleet: admission state travels in
+the gossiped LoadDigest, and the router moves clients off a node that
+published a brownout rung — before the node starts shedding."""
+
+import pytest
+
+from repro.faults import OverloadConfig, ResilienceConfig
+from repro.fleet import FleetConfig, FleetDeployment, RouteOutcome
+
+pytestmark = pytest.mark.metrics
+
+APPS = ("digit.2000",)
+
+
+def _overload():
+    return ResilienceConfig(
+        overload=OverloadConfig(
+            x86_only_enter_load=24.0,
+            x86_only_exit_load=16.0,
+            shed_enter_load=48.0,
+            shed_exit_load=32.0,
+        )
+    )
+
+
+@pytest.fixture
+def fleet():
+    return FleetDeployment(
+        FleetConfig(nodes=3, apps=APPS, seed=3), resilience=_overload()
+    )
+
+
+class TestDigestBackpressure:
+    def test_digest_carries_admission_state(self, fleet):
+        node = fleet.nodes[0]
+        digest = node.digest(fleet.sim.now)
+        assert digest.queue_depth == 0.0
+        assert digest.brownout == 0
+
+    def test_brownout_rung_published_in_digest(self, fleet):
+        node = fleet.nodes[0]
+        guard = node.runtime.resilience.overload
+        guard.update(50.0)  # past the shed rung
+        digest = node.digest(fleet.sim.now)
+        assert digest.brownout == 2
+        # The rung does not distort the scalar load score; it is its
+        # own field, so the router can act on it explicitly.
+        healthy = fleet.nodes[1].digest(fleet.sim.now)
+        assert digest.x86_active == healthy.x86_active
+
+    def test_queue_depth_published_in_digest(self, fleet):
+        node = fleet.nodes[0]
+        guard = node.runtime.resilience.overload
+        guard.enqueued()
+        guard.enqueued()
+        assert node.digest(fleet.sim.now).queue_depth == 2.0
+
+    def test_unprotected_node_publishes_zeros(self):
+        fleet = FleetDeployment(FleetConfig(nodes=2, apps=APPS, seed=0))
+        digest = fleet.nodes[0].digest(fleet.sim.now)
+        assert digest.queue_depth == 0.0
+        assert digest.brownout == 0
+
+
+class TestRouterReaction:
+    def test_published_brownout_moves_the_client(self, fleet):
+        node, _ = fleet.router.route("alice", "digit.2000")
+        node.runtime.resilience.overload.update(50.0)
+        # The router only ever sees the *published* digest: before the
+        # next gossip round the client stays sticky.
+        target, outcome = fleet.router.route("alice", "digit.2000")
+        assert outcome == RouteOutcome.STICKY
+        assert target is node
+        fleet.sim.run(until=fleet.config.gossip_interval_s + 0.1)
+        target, outcome = fleet.router.route("alice", "digit.2000")
+        assert outcome == RouteOutcome.REBALANCE
+        assert target is not node
+        assert target.runtime.resilience.overload.brownout_level == 0
+
+    def test_x86_only_rung_is_already_overloaded(self, fleet):
+        node, _ = fleet.router.route("bob", "digit.2000")
+        node.runtime.resilience.overload.update(30.0)  # rung 1
+        fleet.sim.run(until=fleet.config.gossip_interval_s + 0.1)
+        target, outcome = fleet.router.route("bob", "digit.2000")
+        assert outcome == RouteOutcome.REBALANCE
+        assert target is not node
+
+    def test_recovered_node_keeps_its_remaining_clients(self, fleet):
+        node, _ = fleet.router.route("carol", "digit.2000")
+        guard = node.runtime.resilience.overload
+        guard.update(50.0)
+        guard.update(10.0)  # drained: back to full
+        fleet.sim.run(until=fleet.config.gossip_interval_s + 0.1)
+        target, outcome = fleet.router.route("carol", "digit.2000")
+        assert outcome == RouteOutcome.STICKY
+        assert target is node

@@ -130,6 +130,81 @@ def _random_scenario(sim, rng_seed, log):
             event.callbacks.append(lambda _ev, i=index: fire(i))
 
 
+#: Flash-crowd-shaped schedules: a handful of burst instants, each
+#: receiving a pile of events at the *same* timestamp (an open-loop
+#: arrival spike lands whole cohorts on one tick), over a quiet
+#: baseline. This is the adversarial shape for the calendar's adaptive
+#: resize: the width estimate is taken from a sample that mixes huge
+#: same-bucket clusters with long empty stretches.
+_burst_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),  # burst at
+        st.integers(min_value=1, max_value=40),                      # burst size
+        st.floats(min_value=0.0, max_value=0.01, allow_nan=False),   # jitter step
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestFlashCrowdShapedStreams:
+    @settings(deadline=None, max_examples=150)
+    @given(bursts=_burst_schedules)
+    def test_bursty_push_all_pop_all_matches_heap(self, bursts):
+        # Whole bursts at one timestamp (jitter 0.0 -> exact ties) must
+        # pop FIFO within the tie, identically under both queues.
+        heap, calendar = HeapEventQueue(), CalendarQueue()
+        seq = 0
+        for at, size, jitter in bursts:
+            for k in range(size):
+                t = at + k * jitter
+                heap.push(t, seq, None)
+                calendar.push(t, seq, None)
+                seq += 1
+        assert len(calendar) == len(heap) == seq
+        assert _drain(calendar) == _drain(heap)
+
+    @settings(deadline=None, max_examples=100)
+    @given(
+        bursts=_burst_schedules,
+        drain_between=st.lists(st.integers(min_value=0, max_value=60), max_size=8),
+    )
+    def test_partial_drain_between_bursts_matches_heap(self, bursts, drain_between):
+        # Arrive a burst, serve part of the backlog, repeat — the
+        # shed/serve rhythm of an overloaded server. Pops advance time
+        # monotonically; pushes always land at or after "now" by
+        # clamping each burst to the current clock.
+        heap, calendar = HeapEventQueue(), CalendarQueue(width=0.5, nbuckets=2)
+        seq, now = 0, 0.0
+        pops = iter(drain_between + [0] * len(bursts))
+        for at, size, jitter in bursts:
+            base = max(at, now)
+            for k in range(size):
+                t = base + k * jitter
+                heap.push(t, seq, None)
+                calendar.push(t, seq, None)
+                seq += 1
+            for _ in range(next(pops)):
+                if not heap:
+                    break
+                assert calendar.peek_time() == heap.peek_time()
+                got, want = calendar.pop(), heap.pop()
+                assert got[:2] == want[:2]
+                now = want[0]
+        assert _drain(calendar) == _drain(heap)
+
+    def test_single_instant_crowd(self):
+        # Degenerate flash crowd: every event at literally the same
+        # time. Tie-break must be pure FIFO by seq.
+        heap, calendar = HeapEventQueue(), CalendarQueue(width=1.0, nbuckets=2)
+        for seq in range(500):
+            heap.push(42.0, seq, None)
+            calendar.push(42.0, seq, None)
+        order = _drain(calendar)
+        assert order == _drain(heap)
+        assert [s for _at, s in order] == list(range(500))
+
+
 class TestFullSimulationEquivalence:
     @settings(deadline=None, max_examples=25)
     @given(seed=st.integers(min_value=0, max_value=2**31 - 1))

@@ -1,0 +1,183 @@
+"""SLO scoring: exact p99, deadline-goodput, violation accounting,
+and the memoization that keeps the violations counter honest."""
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.traffic import SLOTarget, SLOTracker
+
+
+@dataclass
+class FakeRecord:
+    """The slice of RunRecord the tracker reads."""
+
+    app: str
+    start_s: float = 0.0
+    end_s: float = math.nan
+    deadline_s: Optional[float] = None
+    shed_reason: Optional[str] = None
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def finished(self) -> bool:
+        return not math.isnan(self.end_s)
+
+
+def _completed(app, latency, deadline=None):
+    return FakeRecord(app=app, start_s=0.0, end_s=latency, deadline_s=deadline)
+
+
+class TestTargetValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p99_latency_s": 0.0},
+            {"p99_latency_s": -1.0},
+            {"goodput_floor": -0.1},
+            {"goodput_floor": 1.1},
+        ],
+    )
+    def test_bad_target_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOTarget(app="a", **kwargs)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker([SLOTarget(app="a"), SLOTarget(app="a")])
+
+
+class TestP99:
+    def test_exact_order_statistic(self):
+        # 100 completed clients with latencies 1..100: ceil(0.99*100)=99,
+        # so p99 is the 99th smallest — exactly 99.0, no interpolation.
+        tracker = SLOTracker([SLOTarget(app="a")])
+        tracker.observe_all(
+            _completed("a", float(i)) for i in range(1, 101)
+        )
+        assert tracker.score()["a"].p99_latency_s == 99.0
+
+    def test_single_sample_is_its_own_p99(self):
+        tracker = SLOTracker([SLOTarget(app="a")])
+        tracker.observe(_completed("a", 3.25))
+        assert tracker.score()["a"].p99_latency_s == 3.25
+
+    def test_no_completions_p99_is_none(self):
+        tracker = SLOTracker([SLOTarget(app="a", p99_latency_s=1.0)])
+        report = tracker.score()["a"]
+        assert report.p99_latency_s is None
+        # No samples cannot violate a latency objective.
+        assert report.violations == ()
+
+
+class TestGoodput:
+    def test_shed_clients_count_against_goodput(self):
+        tracker = SLOTracker([SLOTarget(app="a", goodput_floor=0.9)])
+        tracker.observe(_completed("a", 1.0, deadline=5.0))
+        tracker.observe(FakeRecord(app="a", shed_reason="brownout"))
+        report = tracker.score()["a"]
+        assert report.clients == 2
+        assert report.completed == 1
+        assert report.shed == 1
+        assert report.goodput == 0.5
+        assert report.violations == ("deadline_goodput",)
+
+    def test_deadline_miss_is_not_goodput(self):
+        tracker = SLOTracker([SLOTarget(app="a")])
+        tracker.observe(_completed("a", 6.0, deadline=5.0))  # late
+        tracker.observe(_completed("a", 4.0, deadline=5.0))  # on time
+        report = tracker.score()["a"]
+        assert report.deadline_hits == 1
+        assert report.goodput == 0.5
+
+    def test_no_deadline_every_completion_is_good(self):
+        tracker = SLOTracker([SLOTarget(app="a")])
+        tracker.observe(_completed("a", 100.0))
+        assert tracker.score()["a"].goodput == 1.0
+
+    def test_zero_clients_goodput_is_zero(self):
+        tracker = SLOTracker([SLOTarget(app="a")])
+        report = tracker.score()["a"]
+        assert report.clients == 0
+        assert report.goodput == 0.0
+
+    def test_unfinished_record_counts_as_denied(self):
+        tracker = SLOTracker([SLOTarget(app="a")])
+        tracker.observe(FakeRecord(app="a"))  # never finished, not shed
+        report = tracker.score()["a"]
+        assert report.clients == 1
+        assert report.completed == 0
+        assert report.goodput == 0.0
+
+
+class TestScoring:
+    def test_untargeted_apps_still_reported(self):
+        tracker = SLOTracker([])
+        tracker.observe(_completed("b", 1.0))
+        report = tracker.score()["b"]
+        assert report.clients == 1
+        assert report.violations == ()
+
+    def test_p99_violation_flagged(self):
+        tracker = SLOTracker([SLOTarget(app="a", p99_latency_s=2.0)])
+        tracker.observe(_completed("a", 3.0))
+        assert tracker.score()["a"].violations == ("p99_latency",)
+        assert not tracker.score()["a"].ok
+
+    def test_both_objectives_can_violate_together(self):
+        tracker = SLOTracker(
+            [SLOTarget(app="a", p99_latency_s=2.0, goodput_floor=1.0)]
+        )
+        tracker.observe(_completed("a", 3.0, deadline=2.5))
+        assert tracker.score()["a"].violations == (
+            "p99_latency",
+            "deadline_goodput",
+        )
+
+    def test_lines_are_sorted_and_repr_exact(self):
+        tracker = SLOTracker([SLOTarget(app="b"), SLOTarget(app="a")])
+        tracker.observe(_completed("a", 1.5))
+        tracker.observe(_completed("b", 2.5))
+        lines = tracker.lines()
+        assert lines[0].startswith("slo a ")
+        assert lines[1].startswith("slo b ")
+        assert "p99=1.5" in lines[0]
+        assert lines[0].endswith("ok")
+
+
+class TestCounterMemoization:
+    def _tracker(self):
+        metrics = MetricsRegistry()
+        tracker = SLOTracker(
+            [SLOTarget(app="a", p99_latency_s=1.0)], metrics=metrics
+        )
+        return metrics, tracker
+
+    def test_violations_counted_once_across_rescoring(self):
+        metrics, tracker = self._tracker()
+        tracker.observe(_completed("a", 2.0))
+        tracker.score()
+        tracker.lines()
+        tracker.score()
+        family = metrics.get("slo_violations_total")
+        assert family.labels(app="a").value == 1.0
+
+    def test_new_observation_invalidates_and_recounts(self):
+        metrics, tracker = self._tracker()
+        tracker.observe(_completed("a", 2.0))
+        tracker.score()
+        tracker.observe(_completed("a", 2.0))
+        tracker.score()
+        # Two scoring passes, each finding one violated objective.
+        assert metrics.get("slo_violations_total").labels(app="a").value == 2.0
+
+    def test_no_counter_without_registry(self):
+        tracker = SLOTracker([SLOTarget(app="a", p99_latency_s=1.0)])
+        tracker.observe(_completed("a", 2.0))
+        tracker.score()  # must not raise
